@@ -1,0 +1,170 @@
+package ssrank
+
+// This file is the benchmark harness required by the reproduction: one
+// testing.B benchmark per paper artifact / experiment (the E-index of
+// DESIGN.md §3), each delegating to the generator in internal/expt at
+// quick scale, plus micro- and macro-benchmarks of the protocols
+// themselves. Full-scale figures are produced by cmd/figures; the
+// benchmarks here keep `go test -bench=.` in the minutes range on one
+// core while still executing every experiment end to end.
+
+import (
+	"math"
+	"testing"
+
+	"ssrank/internal/baseline/aware"
+	"ssrank/internal/baseline/cai"
+	"ssrank/internal/baseline/interval"
+	"ssrank/internal/core"
+	"ssrank/internal/expt"
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+)
+
+// benchFigure runs one experiment generator per iteration and keeps
+// the result alive.
+func benchFigure(b *testing.B, gen func(expt.Options) expt.Figure) {
+	b.Helper()
+	opts := expt.QuickOptions()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		opts.Seed = 0x5eed + uint64(i) // vary, stay deterministic
+		fig := gen(opts)
+		rows += len(fig.Rows)
+	}
+	if rows == 0 {
+		b.Fatal("experiment produced no data")
+	}
+}
+
+// One benchmark per experiment (paper figures first).
+
+func BenchmarkFigure2(b *testing.B)           { benchFigure(b, expt.Figure2) }            // E1: Fig. 2
+func BenchmarkFigure3(b *testing.B)           { benchFigure(b, expt.Figure3) }            // E2: Fig. 3
+func BenchmarkCensus(b *testing.B)            { benchFigure(b, expt.CensusTable) }        // E3
+func BenchmarkTheorem1Shape(b *testing.B)     { benchFigure(b, expt.Theorem1Shape) }      // E4
+func BenchmarkTheorem2Shape(b *testing.B)     { benchFigure(b, expt.Theorem2Shape) }      // E5
+func BenchmarkBaselines(b *testing.B)         { benchFigure(b, expt.BaselineComparison) } // E6
+func BenchmarkTradeoff(b *testing.B)          { benchFigure(b, expt.TradeoffEpsilon) }    // E7
+func BenchmarkAblationCWait(b *testing.B)     { benchFigure(b, expt.AblationCWait) }      // E8
+func BenchmarkCoinBalance(b *testing.B)       { benchFigure(b, expt.CoinBalance) }        // E9
+func BenchmarkFaultRecovery(b *testing.B)     { benchFigure(b, expt.FaultRecovery) }      // E10
+func BenchmarkLeaderElect(b *testing.B)       { benchFigure(b, expt.LEShape) }            // E11
+func BenchmarkFastLE(b *testing.B)            { benchFigure(b, expt.FastLESuccess) }      // E12
+func BenchmarkEpidemic(b *testing.B)          { benchFigure(b, expt.EpidemicTail) }       // E13
+func BenchmarkDeadConfig(b *testing.B)        { benchFigure(b, expt.DeadConfigReset) }    // E14
+func BenchmarkAblationResetWave(b *testing.B) { benchFigure(b, expt.AblationResetWave) }  // E15
+func BenchmarkAblationLEBudget(b *testing.B)  { benchFigure(b, expt.AblationLEBudget) }   // E16
+func BenchmarkPhaseStructure(b *testing.B)    { benchFigure(b, expt.PhaseStructure) }     // E17
+
+// Macro-benchmarks: full stabilization per protocol, reporting the
+// interaction count alongside wall time.
+
+func benchStabilize(b *testing.B, n int, run func(seed uint64) (int64, bool)) {
+	b.Helper()
+	var total int64
+	converged := 0
+	for i := 0; i < b.N; i++ {
+		steps, ok := run(uint64(i + 1))
+		total += steps
+		if ok {
+			converged++
+		}
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "interactions/op")
+	b.ReportMetric(float64(total)/float64(b.N)/float64(n)/float64(n), "n²-units/op")
+	if converged == 0 {
+		b.Fatal("no iteration converged")
+	}
+}
+
+func BenchmarkStableStabilize256(b *testing.B) {
+	const n = 256
+	benchStabilize(b, n, func(seed uint64) (int64, bool) {
+		p := stable.New(n, stable.DefaultParams())
+		r := sim.New[stable.State](p, p.InitialStates(), seed)
+		steps, err := r.RunUntil(stable.Valid, 0, int64(3000*float64(n)*float64(n)*math.Log2(n)))
+		return steps, err == nil
+	})
+}
+
+func BenchmarkStableWorstCase256(b *testing.B) {
+	const n = 256
+	benchStabilize(b, n, func(seed uint64) (int64, bool) {
+		p := stable.New(n, stable.DefaultParams())
+		r := sim.New[stable.State](p, p.WorstCaseInit(), seed)
+		steps, err := r.RunUntil(stable.Valid, 0, int64(3000*float64(n)*float64(n)*math.Log2(n)))
+		return steps, err == nil
+	})
+}
+
+func BenchmarkSpaceEfficient256(b *testing.B) {
+	const n = 256
+	benchStabilize(b, n, func(seed uint64) (int64, bool) {
+		p := core.New(n, core.DefaultParams())
+		r := sim.New[core.State](p, p.InitialStates(), seed)
+		steps, err := r.RunUntil(core.Valid, 0, int64(300*float64(n)*float64(n)*math.Log2(n)))
+		return steps, err == nil
+	})
+}
+
+func BenchmarkAware256(b *testing.B) {
+	const n = 256
+	benchStabilize(b, n, func(seed uint64) (int64, bool) {
+		p := aware.New(n, aware.DefaultParams())
+		r := sim.New[aware.State](p, p.InitialStates(), seed)
+		steps, err := r.RunUntil(aware.Valid, 0, int64(3000*float64(n)*float64(n)*math.Log2(n)))
+		return steps, err == nil
+	})
+}
+
+func BenchmarkCai64(b *testing.B) {
+	const n = 64 // Θ(n³): keep n modest
+	benchStabilize(b, n, func(seed uint64) (int64, bool) {
+		p := cai.New(n)
+		r := sim.New[cai.State](p, p.InitialStates(), seed)
+		steps, err := r.RunUntil(cai.Valid, 0, int64(2000*n*n*n))
+		return steps, err == nil
+	})
+}
+
+func BenchmarkInterval256(b *testing.B) {
+	const n = 256
+	benchStabilize(b, n, func(seed uint64) (int64, bool) {
+		p := interval.New(n, 1.0)
+		r := sim.New[interval.State](p, p.InitialStates(), seed)
+		steps, err := r.RunUntil(interval.Valid, 0, int64(5000*n*n))
+		return steps, err == nil
+	})
+}
+
+// Micro-benchmarks: raw transition throughput per protocol.
+
+func BenchmarkTransitionStable(b *testing.B) {
+	p := stable.New(1024, stable.DefaultParams())
+	r := sim.New[stable.State](p, p.InitialStates(), 1)
+	b.ResetTimer()
+	r.Run(int64(b.N))
+}
+
+func BenchmarkTransitionCore(b *testing.B) {
+	p := core.New(1024, core.DefaultParams())
+	r := sim.New[core.State](p, p.InitialStates(), 1)
+	b.ResetTimer()
+	r.Run(int64(b.N))
+}
+
+func BenchmarkTransitionCai(b *testing.B) {
+	p := cai.New(1024)
+	r := sim.New[cai.State](p, p.InitialStates(), 1)
+	b.ResetTimer()
+	r.Run(int64(b.N))
+}
+
+func BenchmarkPublicAPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{N: 64, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (plus the shape experiments of DESIGN.md §3), writing one
+// CSV per experiment and printing ASCII renderings:
+//
+//	figures -out results/            # full scale (minutes)
+//	figures -quick -only E1,E2       # scaled down, selected experiments
+//
+// EXPERIMENTS.md records a full run's output next to the paper's
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ssrank/internal/expt"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out   = flag.String("out", "results", "directory for CSV output (created if missing)")
+		quick = flag.Bool("quick", false, "scaled-down experiments (seconds instead of minutes)")
+		only  = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E3); empty = all")
+		seed  = flag.Uint64("seed", 0x5eed, "experiment seed")
+	)
+	flag.Parse()
+
+	opts := expt.Options{Seed: *seed, Quick: *quick}
+
+	ids := make([]string, 0, len(expt.Registry))
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if expt.Registry[id] == nil {
+				fmt.Fprintf(os.Stderr, "figures: unknown experiment %q\n", id)
+				return 2
+			}
+			ids = append(ids, id)
+		}
+	} else {
+		for i := 1; i <= len(expt.Registry); i++ {
+			ids = append(ids, fmt.Sprintf("E%d", i))
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 2
+	}
+
+	for _, id := range ids {
+		fig := expt.Registry[id](opts)
+		fmt.Println(fig.String())
+		path := filepath.Join(*out, strings.ToLower(id)+".csv")
+		if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 2
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package ssrank_test
+
+import (
+	"fmt"
+	"log"
+
+	"ssrank"
+)
+
+// ExampleRun ranks a small population and prints verifiable facts
+// about the outcome (the ranks themselves depend on the seed).
+func ExampleRun() {
+	res, err := ssrank.Run(ssrank.Config{N: 16, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := make([]bool, 17)
+	for _, r := range res.Ranks {
+		seen[r] = true
+	}
+	complete := true
+	for r := 1; r <= 16; r++ {
+		complete = complete && seen[r]
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("ranks form a permutation of 1..16:", complete)
+	fmt.Println("leader holds rank:", res.Ranks[res.Leader])
+	// Output:
+	// converged: true
+	// ranks form a permutation of 1..16: true
+	// leader holds rank: 1
+}
+
+// ExampleRun_worstCase starts from the paper's Fig. 2 adversarial
+// initialization; the protocol must detect the dead configuration,
+// reset, and re-rank.
+func ExampleRun_worstCase() {
+	res, err := ssrank.Run(ssrank.Config{N: 32, Seed: 2, Init: ssrank.InitWorstCase})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("needed at least one reset:", res.Resets >= 1)
+	// Output:
+	// converged: true
+	// needed at least one reset: true
+}
+
+// ExampleSimulation demonstrates stepwise control with transient-fault
+// injection: self-stabilization means corruption is always survivable.
+func ExampleSimulation() {
+	sim, err := ssrank.NewSimulation(32, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stabilized:", sim.RunUntilStable(0))
+
+	if err := sim.Corrupt(8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovered:", sim.RunUntilStable(0))
+	// Output:
+	// stabilized: true
+	// recovered: true
+}

@@ -1,0 +1,32 @@
+// Quickstart: rank 64 anonymous agents with the self-stabilizing
+// protocol and elect the rank-1 agent as leader.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssrank"
+)
+
+func main() {
+	const n = 64
+
+	res, err := ssrank.Run(ssrank.Config{N: n, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ranked %d agents in %d interactions (%.1f n²)\n",
+		n, res.Interactions, float64(res.Interactions)/(n*n))
+	fmt.Printf("agent %d holds rank 1 and is therefore the leader\n", res.Leader)
+
+	// Every agent ended with a unique rank in 1..n:
+	fmt.Print("ranks: ")
+	for _, r := range res.Ranks {
+		fmt.Printf("%d ", r)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,243 @@
+// Package aware implements a self-stabilizing ranking protocol with an
+// *aware* leader, in the style of the O(n)-state silent protocol of
+// Burman et al. (PODC'21) that the paper's introduction contrasts with.
+//
+// The leader here stores the next rank to assign — precisely the design
+// the paper's protocol goes to great lengths to avoid, because a leader
+// state (1, next) costs n extra states: the protocol uses n + Ω(n)
+// states in total, against StableRanking's n + O(log² n). Running time
+// remains O(n² log n), so the two protocols differ exactly in the
+// dimension the paper optimizes (overhead states), which is what the
+// state-census experiment E3 measures.
+//
+// Structure mirrors StableRanking: the same PropagateReset epidemic and
+// the same lottery-style leader election, but the main protocol is the
+// trivial one — the aware leader implicitly holds rank 1 and hands out
+// ranks 2..n in order; no phases, no waiting, no unaware leader.
+package aware
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/leaderelect"
+)
+
+// Mode identifies the subprotocol an agent currently executes.
+type Mode uint8
+
+const (
+	// ModeRanked is a ranked agent (rank only — no coin, no counter).
+	ModeRanked Mode = iota + 1
+	// ModeLeader is the aware leader: implicitly rank 1, stores the
+	// next rank to assign in [2, n+1] — the Ω(n) overhead.
+	ModeLeader
+	// ModeBlank is an unranked agent awaiting a rank.
+	ModeBlank
+	// ModeReset is a PropagateReset agent (propagating or dormant).
+	ModeReset
+	// ModeLE is a lottery leader-election agent.
+	ModeLE
+)
+
+// State is the per-agent state.
+type State struct {
+	Mode Mode
+	Coin uint8 // synthetic coin; all modes except ModeRanked
+
+	Rank int32 // ModeRanked
+	Next int32 // ModeLeader: next rank to assign, in [2, n+1]
+
+	Alive int32 // ModeBlank and ModeLeader: liveness counter
+
+	ResetCount int32 // ModeReset
+	DelayCount int32 // ModeReset
+
+	LECount    int32 // ModeLE
+	CoinCount  int32 // ModeLE
+	LeaderDone bool  // ModeLE
+	IsLeader   bool  // ModeLE
+}
+
+// Ranked returns a ranked-agent state.
+func Ranked(rank int32) State { return State{Mode: ModeRanked, Rank: rank} }
+
+// HasCoin reports whether the state carries a synthetic coin.
+func (s *State) HasCoin() bool { return s.Mode != ModeRanked }
+
+// isUnranked reports whether the agent is a main-protocol agent without
+// a final rank (blank or the leader).
+func (s *State) isUnranked() bool { return s.Mode == ModeBlank || s.Mode == ModeLeader }
+
+// isMain reports whether the agent executes the main protocol.
+func (s *State) isMain() bool {
+	return s.Mode == ModeRanked || s.Mode == ModeBlank || s.Mode == ModeLeader
+}
+
+// Protocol is the aware-leader ranking protocol. Like stable.Protocol
+// it counts resets and must not be shared across concurrent runners.
+type Protocol struct {
+	n        int
+	lMax     int32
+	leBudget int32
+	rMax     int32
+	dMax     int32
+	coinInit int32
+
+	resets int64
+}
+
+// Params are the tunable constants; see stable.Params for their roles.
+type Params struct {
+	CLive          float64
+	RMaxFactor     float64
+	DMaxFactor     float64
+	LEBudgetFactor float64
+}
+
+// DefaultParams match the constants used for StableRanking so that
+// comparisons isolate the protocol design, not the tuning.
+func DefaultParams() Params {
+	return Params{CLive: 4, RMaxFactor: 4, DMaxFactor: 4, LEBudgetFactor: 8}
+}
+
+// New builds the protocol for n ≥ 2 agents.
+func New(n int, params Params) *Protocol {
+	if n < 2 {
+		panic(fmt.Sprintf("aware: n must be >= 2, got %d", n))
+	}
+	if params.CLive <= 0 || params.RMaxFactor <= 0 || params.DMaxFactor <= 0 || params.LEBudgetFactor <= 0 {
+		panic(fmt.Sprintf("aware: all parameter factors must be positive: %+v", params))
+	}
+	lg := float64(leaderelect.CeilLog2(n))
+	ceil := func(f float64) int32 {
+		v := int32(math.Ceil(f))
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return &Protocol{
+		n:        n,
+		lMax:     ceil(params.CLive * lg),
+		leBudget: ceil(params.LEBudgetFactor * lg),
+		rMax:     ceil(params.RMaxFactor * lg),
+		dMax:     ceil(params.DMaxFactor * lg),
+		coinInit: ceil(lg),
+	}
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return p.n }
+
+// LMax returns the liveness cap.
+func (p *Protocol) LMax() int32 { return p.lMax }
+
+// Resets returns the number of resets triggered by this instance.
+func (p *Protocol) Resets() int64 { return p.resets }
+
+// LEInitial returns the leader-election start state with the given
+// coin.
+func (p *Protocol) LEInitial(coin uint8) State {
+	return State{Mode: ModeLE, Coin: coin, LECount: p.leBudget, CoinCount: p.coinInit}
+}
+
+// InitialStates returns the canonical fresh start (all leader-electing).
+func (p *Protocol) InitialStates() []State {
+	states := make([]State, p.n)
+	for i := range states {
+		states[i] = p.LEInitial(uint8(i & 1))
+	}
+	return states
+}
+
+// TriggerReset puts s into the triggered PropagateReset state.
+func (p *Protocol) TriggerReset(s *State) {
+	coin := uint8(0)
+	if s.HasCoin() {
+		coin = s.Coin
+	}
+	*s = State{Mode: ModeReset, Coin: coin, ResetCount: p.rMax, DelayCount: p.dMax}
+	p.resets++
+}
+
+// Transition is the dispatcher, structured like stable's Protocol 3.
+func (p *Protocol) Transition(u, v *State) {
+	switch {
+	case u.Mode == ModeReset || v.Mode == ModeReset:
+		p.propagateReset(u, v)
+	case u.Mode == ModeLE && v.Mode == ModeLE:
+		p.fastLE(u, v)
+	case u.Mode == ModeLE && v.isMain():
+		*u = State{Mode: ModeBlank, Coin: u.Coin, Alive: p.lMax}
+	case v.Mode == ModeLE && u.isMain():
+		*v = State{Mode: ModeBlank, Coin: v.Coin, Alive: p.lMax}
+	case u.isMain() && v.isMain():
+		p.rank(u, v)
+	}
+	if v.HasCoin() {
+		v.Coin ^= 1
+	}
+}
+
+// rank is the aware-leader main protocol.
+func (p *Protocol) rank(u, v *State) {
+	n := int32(p.n)
+
+	// Error detection: duplicate ranks, two leaders, or a leader that
+	// meets a rank it has not assigned yet (its own implicit rank 1, or
+	// any rank ≥ next).
+	switch {
+	case u.Mode == ModeRanked && v.Mode == ModeRanked && u.Rank == v.Rank,
+		u.Mode == ModeLeader && v.Mode == ModeLeader:
+		p.TriggerReset(u)
+		return
+	case u.Mode == ModeLeader && v.Mode == ModeRanked && (v.Rank >= u.Next || v.Rank == 1),
+		v.Mode == ModeLeader && u.Mode == ModeRanked && (u.Rank >= v.Next || u.Rank == 1):
+		p.TriggerReset(u)
+		return
+	}
+
+	// Liveness: identical scheme to Ranking+ — unranked pairs adopt
+	// max−1; agents ranked n−1 or n drain the responder.
+	if u.isUnranked() && v.isUnranked() {
+		m := u.Alive
+		if v.Alive > m {
+			m = v.Alive
+		}
+		m--
+		if m <= 0 {
+			// Both witnesses reset: aliveCount = 0 lies outside the
+			// declared state space (same resolution as Ranking+, see
+			// DESIGN.md note 4).
+			p.TriggerReset(u)
+			p.TriggerReset(v)
+			return
+		}
+		u.Alive, v.Alive = m, m
+	}
+	if u.Mode == ModeRanked && u.Rank >= n-1 && v.isUnranked() {
+		if v.Alive <= 1 {
+			p.TriggerReset(u)
+			p.TriggerReset(v)
+			return
+		}
+		v.Alive--
+	}
+
+	// Assignment: the aware leader hands out ranks to blank responders
+	// on heads, refreshes their liveness on tails.
+	if u.Mode == ModeLeader && v.Mode == ModeBlank {
+		if v.Coin == 0 {
+			v.Alive = p.lMax
+			return
+		}
+		*v = Ranked(u.Next)
+		u.Next++
+		if u.Next > n {
+			// All ranks assigned; the leader takes its implicit rank 1
+			// and the protocol becomes silent.
+			*u = Ranked(1)
+		}
+	}
+}

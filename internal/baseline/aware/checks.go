@@ -1,0 +1,98 @@
+package aware
+
+import (
+	"fmt"
+
+	"ssrank/internal/rng"
+)
+
+// CheckInvariant verifies that every agent's variables lie inside the
+// declared state space.
+func (p *Protocol) CheckInvariant(states []State) error {
+	n := int32(p.n)
+	for i := range states {
+		s := &states[i]
+		if s.HasCoin() && s.Coin > 1 {
+			return fmt.Errorf("agent %d: coin %d not a bit", i, s.Coin)
+		}
+		switch s.Mode {
+		case ModeRanked:
+			if s.Rank < 1 || s.Rank > n {
+				return fmt.Errorf("agent %d: rank %d outside [1, %d]", i, s.Rank, n)
+			}
+		case ModeLeader:
+			if s.Next < 2 || s.Next > n {
+				return fmt.Errorf("agent %d: leader next %d outside [2, %d]", i, s.Next, n)
+			}
+			if s.Alive < 1 || s.Alive > p.lMax {
+				return fmt.Errorf("agent %d: leader alive %d outside [1, %d]", i, s.Alive, p.lMax)
+			}
+		case ModeBlank:
+			if s.Alive < 1 || s.Alive > p.lMax {
+				return fmt.Errorf("agent %d: blank alive %d outside [1, %d]", i, s.Alive, p.lMax)
+			}
+		case ModeReset:
+			if s.ResetCount < 0 || s.ResetCount > p.rMax || s.DelayCount < 0 || s.DelayCount > p.dMax {
+				return fmt.Errorf("agent %d: reset counters (%d, %d) out of range", i, s.ResetCount, s.DelayCount)
+			}
+			if s.ResetCount == 0 && s.DelayCount == 0 {
+				return fmt.Errorf("agent %d: reset agent with both counters zero", i)
+			}
+		case ModeLE:
+			if s.LECount < 1 || s.LECount > p.leBudget {
+				return fmt.Errorf("agent %d: LECount %d outside [1, %d]", i, s.LECount, p.leBudget)
+			}
+			if s.CoinCount < 0 || s.CoinCount > p.coinInit {
+				return fmt.Errorf("agent %d: coinCount %d outside [0, %d]", i, s.CoinCount, p.coinInit)
+			}
+		default:
+			return fmt.Errorf("agent %d: invalid mode %d", i, s.Mode)
+		}
+	}
+	return nil
+}
+
+// RandomState draws a uniformly random state from the declared state
+// space (the self-stabilization adversary for this baseline).
+func (p *Protocol) RandomState(r *rng.RNG) State {
+	coin := uint8(r.Intn(2))
+	switch Mode(1 + r.Intn(5)) {
+	case ModeRanked:
+		return Ranked(int32(1 + r.Intn(p.n)))
+	case ModeLeader:
+		return State{
+			Mode:  ModeLeader,
+			Coin:  coin,
+			Next:  int32(2 + r.Intn(p.n-1)),
+			Alive: int32(1 + r.Intn(int(p.lMax))),
+		}
+	case ModeBlank:
+		return State{Mode: ModeBlank, Coin: coin, Alive: int32(1 + r.Intn(int(p.lMax)))}
+	case ModeReset:
+		for {
+			rc, dc := int32(r.Intn(int(p.rMax)+1)), int32(r.Intn(int(p.dMax)+1))
+			if rc != 0 || dc != 0 {
+				return State{Mode: ModeReset, Coin: coin, ResetCount: rc, DelayCount: dc}
+			}
+		}
+	default:
+		done := r.Bool()
+		return State{
+			Mode:       ModeLE,
+			Coin:       coin,
+			LECount:    int32(1 + r.Intn(int(p.leBudget))),
+			CoinCount:  int32(r.Intn(int(p.coinInit) + 1)),
+			LeaderDone: done,
+			IsLeader:   done && r.Bool(),
+		}
+	}
+}
+
+// RandomConfig draws an arbitrary configuration.
+func (p *Protocol) RandomConfig(r *rng.RNG) []State {
+	states := make([]State, p.n)
+	for i := range states {
+		states[i] = p.RandomState(r)
+	}
+	return states
+}

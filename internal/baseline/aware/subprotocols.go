@@ -1,0 +1,108 @@
+package aware
+
+// propagateReset is the same reset epidemic as stable's (§V-A),
+// specialized to this package's State.
+func (p *Protocol) propagateReset(u, v *State) {
+	uProp := u.Mode == ModeReset && u.ResetCount > 0
+	vProp := v.Mode == ModeReset && v.ResetCount > 0
+	uDorm := u.Mode == ModeReset && u.ResetCount == 0
+	vDorm := v.Mode == ModeReset && v.ResetCount == 0
+
+	switch {
+	case uProp && vProp:
+		m := u.ResetCount
+		if v.ResetCount > m {
+			m = v.ResetCount
+		}
+		m--
+		u.ResetCount, v.ResetCount = m, m
+	case uProp:
+		u.ResetCount--
+		if vDorm {
+			v.DelayCount--
+		} else {
+			coin := uint8(0)
+			if v.HasCoin() {
+				coin = v.Coin
+			}
+			*v = State{Mode: ModeReset, Coin: coin, ResetCount: u.ResetCount, DelayCount: p.dMax}
+		}
+	case vProp:
+		v.ResetCount--
+		if uDorm {
+			u.DelayCount--
+		} else {
+			coin := uint8(0)
+			if u.HasCoin() {
+				coin = u.Coin
+			}
+			*u = State{Mode: ModeReset, Coin: coin, ResetCount: v.ResetCount, DelayCount: p.dMax}
+		}
+	default:
+		if uDorm {
+			u.DelayCount--
+		}
+		if vDorm {
+			v.DelayCount--
+		}
+	}
+
+	p.awaken(u)
+	p.awaken(v)
+}
+
+func (p *Protocol) awaken(s *State) {
+	if s.Mode == ModeReset && s.ResetCount <= 0 && s.DelayCount <= 0 {
+		*s = p.LEInitial(s.Coin)
+	}
+}
+
+// fastLE is the lottery leader election of Protocol 5; the winner
+// becomes the aware leader with Next = 2 instead of a waiting agent.
+func (p *Protocol) fastLE(u, v *State) {
+	u.LECount--
+	if u.LECount <= 0 {
+		p.TriggerReset(u)
+		return
+	}
+	if !u.LeaderDone {
+		if v.Coin == 0 {
+			u.LeaderDone = true
+			u.CoinCount = 0 // single done state per LECount value
+		} else {
+			u.CoinCount--
+			if u.CoinCount <= 0 {
+				u.CoinCount = 0
+				u.IsLeader = true
+				u.LeaderDone = true
+			}
+		}
+	}
+	if u.IsLeader && u.LECount >= p.leBudget/2 {
+		*u = State{Mode: ModeLeader, Coin: u.Coin, Next: 2, Alive: p.lMax}
+	}
+}
+
+// Valid reports whether the configuration is a permutation of 1..n.
+func Valid(states []State) bool {
+	seen := make([]bool, len(states)+1)
+	for i := range states {
+		s := &states[i]
+		if s.Mode != ModeRanked || s.Rank < 1 || int(s.Rank) > len(states) || seen[s.Rank] {
+			return false
+		}
+		seen[s.Rank] = true
+	}
+	return true
+}
+
+// RankedCount returns the number of ranked agents.
+func RankedCount(states []State) int {
+	c := 0
+	for i := range states {
+		if states[i].Mode == ModeRanked {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,74 @@
+// Package cai implements the classic n-state silent self-stabilizing
+// ranking (and hence leader-election) protocol of Cai, Izumi and Wada
+// (Theory Comput. Syst. 2012), the minimal-state baseline the paper
+// compares against (§II): n states, O(n³) interactions w.h.p.
+//
+// Each agent holds a label in {1..n}. When two agents with equal labels
+// meet, the responder advances its label cyclically. Configurations
+// whose labels form a permutation are silent; from any configuration,
+// collisions push the multiset of labels toward a permutation.
+//
+// The protocol demonstrates the other end of the trade-off the paper
+// occupies: zero overhead states, but a Θ(n)-factor slower
+// stabilization than StableRanking's O(n² log n).
+package cai
+
+import "fmt"
+
+// State is an agent's label in [1, n].
+type State int32
+
+// Protocol is the collision-bump protocol for a fixed population size.
+type Protocol struct {
+	n int32
+}
+
+// New returns the protocol for n ≥ 2 agents.
+func New(n int) *Protocol {
+	if n < 2 {
+		panic(fmt.Sprintf("cai: n must be >= 2, got %d", n))
+	}
+	return &Protocol{n: int32(n)}
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return int(p.n) }
+
+// Transition bumps the responder's label cyclically on collision.
+func (p *Protocol) Transition(u, v *State) {
+	if *u == *v {
+		*v = *v%State(p.n) + 1
+	}
+}
+
+// InitialStates returns the canonical adversarial start: every agent
+// holding label 1. Any []State with values in [1, n] is a legal start.
+func (p *Protocol) InitialStates() []State {
+	states := make([]State, p.n)
+	for i := range states {
+		states[i] = 1
+	}
+	return states
+}
+
+// Valid reports whether the labels form a permutation of 1..n.
+func Valid(states []State) bool {
+	seen := make([]bool, len(states)+1)
+	for _, s := range states {
+		if s < 1 || int(s) > len(states) || seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return true
+}
+
+// CheckInvariant verifies all labels are within [1, n].
+func (p *Protocol) CheckInvariant(states []State) error {
+	for i, s := range states {
+		if s < 1 || s > State(p.n) {
+			return fmt.Errorf("agent %d: label %d outside [1, %d]", i, s, p.n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Package sudo implements a loosely-stabilizing leader-election
+// protocol in the style of Sudo et al. (TCS 2012, DISC'21), the third
+// related-work family the paper's §II discusses.
+//
+// Loose stabilization trades permanence for speed: from *any* initial
+// configuration the population converges to exactly one leader well
+// below the Ω(n² log n) any silent protocol needs (Burman et al.) —
+// this simplified variant measures at Θ(n²), duel-dominated, while
+// Sudo et al.'s full constructions reach O(n log n) — but the
+// configuration is not stable: the unique leader only persists for a
+// long (tunable, exponential-in-the-constant) holding time, after
+// which spurious leaders can reappear. The paper's StableRanking is
+// the opposite corner: silent and permanent, at Θ(n² log n).
+// Experiment E18 measures both corners.
+//
+// Mechanism: every agent carries a timeout. Leaders refresh their own
+// timeout to T_max = ⌈TimeoutFactor·log₂ n⌉ on every interaction;
+// non-leaders propagate freshness by adopting max(own, partner) − 1.
+// An agent whose timeout drains to 0 concludes the leader is gone and
+// promotes itself. Two leaders meeting demote the responder.
+package sudo
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/leaderelect"
+)
+
+// State is the per-agent state: a leader bit and a timeout in
+// [0, TMax].
+type State struct {
+	Leader  bool
+	Timeout int32
+}
+
+// Protocol is the loosely-stabilizing leader-election protocol.
+type Protocol struct {
+	n    int
+	tMax int32
+}
+
+// New builds the protocol for n ≥ 2 agents. timeoutFactor scales
+// T_max = ⌈timeoutFactor·log₂ n⌉; larger values lengthen the holding
+// time (roughly exponentially) and slow convergence linearly.
+func New(n int, timeoutFactor float64) *Protocol {
+	if n < 2 {
+		panic(fmt.Sprintf("sudo: n must be >= 2, got %d", n))
+	}
+	if timeoutFactor <= 0 {
+		panic(fmt.Sprintf("sudo: timeoutFactor must be positive, got %v", timeoutFactor))
+	}
+	t := int32(math.Ceil(timeoutFactor * float64(leaderelect.CeilLog2(n))))
+	if t < 2 {
+		t = 2
+	}
+	return &Protocol{n: n, tMax: t}
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return p.n }
+
+// TMax returns the timeout ceiling.
+func (p *Protocol) TMax() int32 { return p.tMax }
+
+// Transition applies one interaction.
+func (p *Protocol) Transition(u, v *State) {
+	switch {
+	case u.Leader && v.Leader:
+		// Duel: the responder yields.
+		v.Leader = false
+		u.Timeout = p.tMax
+		v.Timeout = p.tMax
+	case u.Leader || v.Leader:
+		// A leader refreshes both timeouts.
+		u.Timeout = p.tMax
+		v.Timeout = p.tMax
+	default:
+		// Freshness epidemic with decay.
+		m := u.Timeout
+		if v.Timeout > m {
+			m = v.Timeout
+		}
+		m--
+		if m < 0 {
+			m = 0
+		}
+		u.Timeout, v.Timeout = m, m
+		// A drained timeout promotes the responder (one promotion per
+		// interaction keeps duels rare).
+		if m == 0 {
+			v.Leader = true
+			u.Timeout, v.Timeout = p.tMax, p.tMax
+		}
+	}
+}
+
+// InitialStates returns the adversarial no-leader, drained start.
+func (p *Protocol) InitialStates() []State {
+	return make([]State, p.n)
+}
+
+// AllLeaders returns the opposite adversarial start: everyone a
+// leader.
+func (p *Protocol) AllLeaders() []State {
+	states := make([]State, p.n)
+	for i := range states {
+		states[i] = State{Leader: true, Timeout: p.tMax}
+	}
+	return states
+}
+
+// Leaders counts the current leaders.
+func Leaders(states []State) int {
+	c := 0
+	for i := range states {
+		if states[i].Leader {
+			c++
+		}
+	}
+	return c
+}
+
+// UniqueLeader reports whether exactly one leader exists.
+func UniqueLeader(states []State) bool { return Leaders(states) == 1 }
+
+// CheckInvariant verifies all timeouts are within [0, TMax].
+func (p *Protocol) CheckInvariant(states []State) error {
+	for i := range states {
+		if states[i].Timeout < 0 || states[i].Timeout > p.tMax {
+			return fmt.Errorf("agent %d: timeout %d outside [0, %d]", i, states[i].Timeout, p.tMax)
+		}
+	}
+	return nil
+}

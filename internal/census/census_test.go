@@ -1,0 +1,184 @@
+package census
+
+import (
+	"math"
+	"testing"
+
+	"ssrank/internal/baseline/aware"
+	"ssrank/internal/baseline/cai"
+	"ssrank/internal/baseline/interval"
+	"ssrank/internal/core"
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+)
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker[int]()
+	tr.Observe([]int{1, 2, 2, 3})
+	tr.Observe([]int{3, 4})
+	if tr.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", tr.Count())
+	}
+}
+
+func TestDeclaredStableIsPolylogOverhead(t *testing.T) {
+	// Theorem 2: overhead = O(log² n). The ratio overhead/log²n must
+	// stay within a constant band across three orders of magnitude of
+	// n (the band's value, ≈80, comes from the default parameter
+	// factors), and overhead/n must vanish.
+	var ratios []float64
+	for _, n := range []int{64, 256, 1024, 4096, 16384, 1 << 20} {
+		p := stable.New(n, stable.DefaultParams())
+		overhead := float64(OverheadStable(p))
+		lg := math.Log2(float64(n))
+		ratios = append(ratios, overhead/(lg*lg))
+		// o(n): with the default constants (≈80·log²n) the crossover
+		// against 0.1·n lies near n = 2¹⁷; check well past it.
+		if n >= 1<<20 && overhead/float64(n) > 0.1 {
+			t.Fatalf("n=%d: overhead %v is not o(n)", n, overhead)
+		}
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if hi > 2*lo {
+		t.Fatalf("overhead/log²n ratio drifts from %.1f to %.1f; not Θ(log² n)", lo, hi)
+	}
+}
+
+func TestDeclaredAwareIsLinearOverhead(t *testing.T) {
+	// The contrast class: overhead = Ω(n).
+	for _, n := range []int{64, 256, 1024} {
+		p := aware.New(n, aware.DefaultParams())
+		overhead := DeclaredAware(p) - n
+		if overhead < n {
+			t.Fatalf("n=%d: aware overhead %d < n; baseline lost its Ω(n) character", n, overhead)
+		}
+	}
+}
+
+func TestExponentialOverheadImprovement(t *testing.T) {
+	// The paper's headline comparison (§I): the stable protocol's
+	// overhead is exponentially smaller than the aware baseline's.
+	const n = 4096
+	so := OverheadStable(stable.New(n, stable.DefaultParams()))
+	ao := DeclaredAware(aware.New(n, aware.DefaultParams())) - n
+	if float64(ao)/float64(so) < 8 {
+		t.Fatalf("aware/stable overhead ratio %d/%d too small", ao, so)
+	}
+	// log₂(aware overhead) should be ≈ log n vs log(stable overhead)
+	// ≈ 2 log log n: check the gap grows with n.
+	const n2 = 64
+	so2 := OverheadStable(stable.New(n2, stable.DefaultParams()))
+	ao2 := DeclaredAware(aware.New(n2, aware.DefaultParams())) - n2
+	if float64(ao)/float64(so) <= float64(ao2)/float64(so2) {
+		t.Fatalf("overhead gap does not grow with n: %d/%d vs %d/%d", ao, so, ao2, so2)
+	}
+}
+
+func TestDeclaredCai(t *testing.T) {
+	if got := DeclaredCai(cai.New(77)); got != 77 {
+		t.Fatalf("DeclaredCai = %d, want 77", got)
+	}
+}
+
+func TestDeclaredInterval(t *testing.T) {
+	p := interval.New(100, 1.0) // m = 256
+	if got := DeclaredInterval(p); got != 511 {
+		t.Fatalf("DeclaredInterval = %d, want 511", got)
+	}
+}
+
+func TestDeclaredCorePaperAccounting(t *testing.T) {
+	p := core.New(256, core.DefaultParams())
+	total, paper := DeclaredCore(p)
+	// Paper accounting: 256 + 16 + 8 + 8 = 288 = n + Θ(log n).
+	if paper != 288 {
+		t.Fatalf("paper-accounted size = %d, want 288", paper)
+	}
+	if total <= paper {
+		t.Fatalf("implementation size %d should exceed paper accounting %d (substituted LE substrate)", total, paper)
+	}
+}
+
+func TestObservedStableWithinDeclared(t *testing.T) {
+	// The empirical census: run to stabilization tracking every state
+	// visited; the distinct count must stay within the declared space
+	// and well below n + n (i.e. exhibit sublinear overhead).
+	const n = 256
+	p := stable.New(n, stable.DefaultParams())
+	r := sim.New[stable.State](p, p.InitialStates(), 3)
+	tr := NewTracker[stable.State]()
+	tr.Observe(r.States())
+	budget := int64(2000 * float64(n) * float64(n) * math.Log2(float64(n)))
+	for r.Steps() < budget && !stable.Valid(r.States()) {
+		r.Run(int64(n))
+		tr.Observe(r.States())
+	}
+	if !stable.Valid(r.States()) {
+		t.Fatal("run did not stabilize")
+	}
+	declared := DeclaredStable(p)
+	if tr.Count() > declared {
+		t.Fatalf("observed %d states exceeds declared %d", tr.Count(), declared)
+	}
+}
+
+func TestObservedOverheadScalesPolylog(t *testing.T) {
+	// Empirical version of Theorem 2's space claim: the observed
+	// overhead (distinct states beyond the n ranks) must grow far
+	// slower than n — quadrupling n should much less than quadruple it.
+	if testing.Short() {
+		t.Skip("census runs are slow")
+	}
+	observe := func(n int) int {
+		p := stable.New(n, stable.DefaultParams())
+		r := sim.New[stable.State](p, p.InitialStates(), 9)
+		tr := NewTracker[stable.State]()
+		tr.Observe(r.States())
+		budget := int64(2000 * float64(n) * float64(n) * math.Log2(float64(n)))
+		for r.Steps() < budget && !stable.Valid(r.States()) {
+			r.Run(int64(n))
+			tr.Observe(r.States())
+		}
+		if !stable.Valid(r.States()) {
+			t.Fatalf("n=%d: run did not stabilize", n)
+		}
+		overhead := tr.Count() - n
+		if overhead < 0 {
+			overhead = 0
+		}
+		return overhead
+	}
+	small, large := observe(128), observe(512)
+	if small == 0 {
+		small = 1
+	}
+	if float64(large)/float64(small) > 3 {
+		t.Fatalf("observed overhead grew %d -> %d (×%.1f) for n ×4; not polylog",
+			small, large, float64(large)/float64(small))
+	}
+}
+
+func TestObservedCaiExactlyN(t *testing.T) {
+	const n = 64
+	p := cai.New(n)
+	r := sim.New[cai.State](p, p.InitialStates(), 5)
+	tr := NewTracker[cai.State]()
+	for i := 0; i < 20000; i++ {
+		r.Run(int64(n))
+		tr.Observe(r.States())
+		if cai.Valid(r.States()) {
+			break
+		}
+	}
+	if tr.Count() > n {
+		t.Fatalf("cai visited %d distinct states, declared space is %d", tr.Count(), n)
+	}
+}

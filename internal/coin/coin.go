@@ -1,0 +1,103 @@
+// Package coin provides analysis helpers for the synthetic coin used by
+// StableRanking and FastLeaderElection (cf. Alistarh et al., SODA'17).
+//
+// The synthetic coin is a single bit per agent, toggled every time the
+// agent is activated as a responder. Reading the partner's bit
+// approximates a fair coin flip once the population has "warmed up":
+// Lemma 28 states that after n·log(4·log n)/2 interactions the number
+// of zeros lies in (1 ± 1/(4·log n))·n/2 w.h.p. — the balance condition
+// the leader-election configurations C_LE require (Definition 29).
+package coin
+
+import (
+	"math"
+
+	"ssrank/internal/rng"
+)
+
+// Imbalance returns |#heads − #tails| over the given coin bits.
+func Imbalance(coins []uint8) int {
+	heads := 0
+	for _, c := range coins {
+		if c == 1 {
+			heads++
+		}
+	}
+	tails := len(coins) - heads
+	d := heads - tails
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// BalanceBound returns the C_LE balance requirement n/(4·log₂ n)
+// (Definition 29). For n ≤ 2 the bound degenerates; it is clamped to 1.
+func BalanceBound(n int) float64 {
+	if n <= 2 {
+		return 1
+	}
+	return float64(n) / (4 * math.Log2(float64(n)))
+}
+
+// WarmupInteractions returns the Lemma 28 warm-up horizon
+// n·log(4·log n)/2 (natural logarithms), after which the balance bound
+// holds w.h.p. For tiny n the expression is clamped to n.
+func WarmupInteractions(n int) int64 {
+	if n < 3 {
+		return int64(n)
+	}
+	v := float64(n) * math.Log(4*math.Log(float64(n))) / 2
+	if v < float64(n) {
+		v = float64(n)
+	}
+	return int64(math.Ceil(v))
+}
+
+// Population simulates a population of bare synthetic coins: in each
+// interaction the responder's coin toggles. It exists to study the
+// coin in isolation (experiment E9).
+type Population struct {
+	coins []uint8
+	rng   *rng.RNG
+	steps int64
+}
+
+// NewPopulation returns a coin population with the given initial bits
+// (copied).
+func NewPopulation(coins []uint8, seed uint64) *Population {
+	c := make([]uint8, len(coins))
+	copy(c, coins)
+	return &Population{coins: c, rng: rng.New(seed)}
+}
+
+// AllZero returns an adversarial all-tails initialization of size n.
+func AllZero(n int) []uint8 { return make([]uint8, n) }
+
+// Alternating returns the balanced index-parity initialization.
+func Alternating(n int) []uint8 {
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = uint8(i & 1)
+	}
+	return c
+}
+
+// Step performs k interactions (responder toggles).
+func (p *Population) Step(k int64) {
+	n := len(p.coins)
+	for i := int64(0); i < k; i++ {
+		_, b := p.rng.Pair(n)
+		p.coins[b] ^= 1
+	}
+	p.steps += k
+}
+
+// Steps returns the number of interactions simulated.
+func (p *Population) Steps() int64 { return p.steps }
+
+// Coins returns the live coin bits (read-only).
+func (p *Population) Coins() []uint8 { return p.coins }
+
+// Imbalance returns the current |#heads − #tails|.
+func (p *Population) Imbalance() int { return Imbalance(p.coins) }

@@ -1,0 +1,75 @@
+// Package core implements the paper's non-self-stabilizing protocols
+// SpaceEfficientRanking and Ranking (Protocols 1 and 2, §IV) together
+// with the phase geometry f_k shared by all ranking protocols in this
+// repository.
+//
+// SpaceEfficientRanking is a silent population protocol with
+// n + Θ(log n) states that reaches a valid ranking in O(n² log n)
+// interactions w.h.p. (Theorem 1).
+package core
+
+import "fmt"
+
+// Phases captures the rank intervals assigned per phase:
+// f₁ = n and f_k = ⌈f_{k-1}/2⌉ for k > 1. Phase k assigns the ranks
+// f_{k+1}+1, …, f_k; the unaware leader keeps rank 1 after the final
+// phase KMax = ⌈log₂ n⌉.
+type Phases struct {
+	n int
+	// f[k] = f_k for k in 1..KMax+1; f[0] is unused. f[KMax+1] = 1.
+	f    []int32
+	kMax int32
+}
+
+// NewPhases computes the phase geometry for a population of n ≥ 2.
+func NewPhases(n int) Phases {
+	if n < 2 {
+		panic(fmt.Sprintf("core: phases need n >= 2, got %d", n))
+	}
+	f := []int32{0, int32(n)}
+	for f[len(f)-1] > 1 {
+		prev := f[len(f)-1]
+		f = append(f, (prev+1)/2)
+	}
+	return Phases{n: n, f: f, kMax: int32(len(f) - 2)}
+}
+
+// N returns the population size.
+func (p Phases) N() int { return p.n }
+
+// KMax returns the number of phases, ⌈log₂ n⌉.
+func (p Phases) KMax() int32 { return p.kMax }
+
+// F returns f_k for 1 ≤ k ≤ KMax+1.
+func (p Phases) F(k int32) int32 {
+	if k < 1 || int(k) >= len(p.f) {
+		panic(fmt.Sprintf("core: F(%d) out of range for n=%d (kMax=%d)", k, p.n, p.kMax))
+	}
+	return p.f[k]
+}
+
+// Width returns the number of ranks assigned in phase k,
+// f_k − f_{k+1}. The unaware leader holds ranks 1..Width(k) during
+// phase k.
+func (p Phases) Width(k int32) int32 { return p.F(k) - p.F(k+1) }
+
+// AssignRange returns the inclusive interval [lo, hi] of ranks assigned
+// during phase k: lo = f_{k+1}+1, hi = f_k.
+func (p Phases) AssignRange(k int32) (lo, hi int32) {
+	return p.F(k+1) + 1, p.F(k)
+}
+
+// PhaseOfRank returns the phase during which rank r (2 ≤ r ≤ n) is
+// assigned. Rank 1 is never assigned; the leader takes it by waiting
+// out the very first phase transition.
+func (p Phases) PhaseOfRank(r int32) int32 {
+	if r < 2 || int(r) > p.n {
+		panic(fmt.Sprintf("core: PhaseOfRank(%d) out of range for n=%d", r, p.n))
+	}
+	for k := int32(1); k <= p.kMax; k++ {
+		if lo, hi := p.AssignRange(k); r >= lo && r <= hi {
+			return k
+		}
+	}
+	panic("core: unreachable — rank ranges partition [2, n]")
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/leaderelect"
+)
+
+// Params are the tunable constants of SpaceEfficientRanking.
+type Params struct {
+	// CWait is the paper's c_wait: the wait counter starts at
+	// ⌈c_wait·log₂ n⌉. The analysis requires a sufficiently large
+	// constant (Lemma 4 uses c_wait ≥ 24+48γ); the paper's own
+	// simulations use 2, which is also our default.
+	CWait float64
+}
+
+// DefaultParams mirror the constants of the paper's simulations (§VI).
+func DefaultParams() Params { return Params{CWait: 2} }
+
+// Protocol is the non-self-stabilizing protocol SpaceEfficientRanking
+// (Protocol 1), delegating to Ranking (Protocol 2) once leader election
+// is over. It is immutable and safe to share across runners.
+type Protocol struct {
+	phases   Phases
+	le       *leaderelect.Protocol
+	waitInit int32
+}
+
+// New builds the protocol for n ≥ 2 agents.
+func New(n int, params Params) *Protocol {
+	if params.CWait <= 0 {
+		panic(fmt.Sprintf("core: CWait must be positive, got %v", params.CWait))
+	}
+	return &Protocol{
+		phases:   NewPhases(n),
+		le:       leaderelect.New(n),
+		waitInit: waitInit(n, params.CWait),
+	}
+}
+
+func waitInit(n int, cWait float64) int32 {
+	w := int32(math.Ceil(cWait * float64(leaderelect.CeilLog2(n))))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return p.phases.n }
+
+// Phases exposes the phase geometry.
+func (p *Protocol) Phases() Phases { return p.phases }
+
+// WaitInit returns ⌈c_wait·log₂ n⌉, the initial wait counter.
+func (p *Protocol) WaitInit() int32 { return p.waitInit }
+
+// LE exposes the leader-election substrate.
+func (p *Protocol) LE() *leaderelect.Protocol { return p.le }
+
+// InitialStates returns the paper's initial configuration: every agent
+// in the leader-election start state.
+func (p *Protocol) InitialStates() []State {
+	states := make([]State, p.phases.n)
+	for i := range states {
+		states[i] = State{Kind: KindLE, LE: p.le.InitialState(i)}
+	}
+	return states
+}
+
+// Transition implements Protocol 1 (SpaceEfficientRanking) with
+// initiator u and responder v.
+func (p *Protocol) Transition(u, v *State) {
+	// Lines 1–2: two leader-electing agents run the LE substrate.
+	if u.Kind == KindLE && v.Kind == KindLE {
+		p.le.Transition(&u.LE, &v.LE)
+		// Lines 3–6: a finished leader forgets its LE state and becomes
+		// the (unique, w.h.p.) waiting agent.
+		if leaderelect.IsDoneLeader(&u.LE) {
+			*u = WaitState(p.waitInit)
+			return
+		}
+		if leaderelect.IsDoneLeader(&v.LE) {
+			*v = WaitState(p.waitInit)
+		}
+		return
+	}
+
+	// Lines 3–6 also cover a done leader meeting a non-LE agent; the
+	// check precedes the start-of-ranking epidemic so the leader is
+	// never demoted to a phase agent.
+	if u.Kind == KindLE && leaderelect.IsDoneLeader(&u.LE) {
+		*u = WaitState(p.waitInit)
+		return
+	}
+	if v.Kind == KindLE && leaderelect.IsDoneLeader(&v.LE) {
+		*v = WaitState(p.waitInit)
+		return
+	}
+
+	// Lines 7–9: one-way epidemic — a leader-electing agent meeting a
+	// non-leader-electing agent forgets its LE state and enters phase 1.
+	if u.Kind == KindLE {
+		*u = PhaseState(1)
+		return
+	}
+	if v.Kind == KindLE {
+		*v = PhaseState(1)
+		return
+	}
+
+	// Lines 10–11: both agents are past leader election.
+	p.Ranking(u, v)
+}
+
+// Ranking implements Protocol 2 with initiator u and responder v. It is
+// exported because Ranking+ (internal/stable) reuses it verbatim as its
+// "base protocol".
+//
+// It reports whether u became a waiting agent during the interaction
+// (Protocol 4 line 17 needs this).
+func (p *Protocol) Ranking(u, v *State) (uBecameWaiting bool) {
+	// Line 1: if v is not a phase agent, do nothing.
+	if v.Kind != KindPhase {
+		return false
+	}
+	switch u.Kind {
+	case KindRanked:
+		k := v.Phase
+		width := p.phases.Width(k)
+		switch {
+		case u.Rank >= 1 && u.Rank <= width:
+			// Lines 4–9: u is the unaware leader for phase k and
+			// assigns the next rank of the phase to v.
+			*v = RankedState(p.phases.F(k+1) + u.Rank)
+			if u.Rank < width {
+				u.Rank++ // line 7: phase not done
+			} else if k < p.phases.kMax {
+				// Lines 8–9: end of a non-final phase — the leader
+				// forgets its rank and waits out the phase transition.
+				*u = WaitState(p.waitInit)
+				return true
+			}
+			// k = kMax: the leader keeps rank 1 (width(kMax) may exceed
+			// 1 only for k < kMax); the protocol is silent hereafter.
+		case u.Rank == p.phases.F(k):
+			// Lines 10–11: u holds the last rank of v's phase, so phase
+			// k is finished; v advances. The phase saturates at kMax
+			// because the state space ends there (DESIGN.md note 3).
+			if k < p.phases.kMax {
+				v.Phase = k + 1
+			}
+		}
+	case KindPhase:
+		// Lines 12–14: two phase agents adopt the more advanced phase.
+		if u.Phase > v.Phase {
+			v.Phase = u.Phase
+		} else {
+			u.Phase = v.Phase
+		}
+	case KindWait:
+		// Lines 15–19: the waiting agent counts down against phase
+		// agents and ultimately re-enters with rank 1.
+		u.Wait--
+		if u.Wait <= 0 {
+			*u = RankedState(1)
+		}
+	}
+	return false
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestRankingPhaseScript drives Protocol 2 by hand through a complete
+// phase for n = 8 and checks every assignment against the paper's
+// description of phase 1 (ranks n/2+1..n).
+func TestRankingPhaseScript(t *testing.T) {
+	const n = 8
+	p := New(n, DefaultParams())
+
+	// Start of phase 1: unaware leader with rank 1, everyone else in
+	// phase 1 (the C_{1,rank} configuration of Definition 5).
+	leader := RankedState(1)
+	agents := make([]State, n-1)
+	for i := range agents {
+		agents[i] = PhaseState(1)
+	}
+
+	width := p.Phases().Width(1) // 8 - 4 = 4
+	if width != 4 {
+		t.Fatalf("width(1) = %d, want 4", width)
+	}
+	for i := int32(0); i < width; i++ {
+		wantRank := p.Phases().F(2) + 1 + i // 5, 6, 7, 8
+		becameWaiting := p.Ranking(&leader, &agents[i])
+		if agents[i].Kind != KindRanked || agents[i].Rank != wantRank {
+			t.Fatalf("assignment %d: agent got %v, want rank(%d)", i, agents[i], wantRank)
+		}
+		if i < width-1 {
+			if becameWaiting || leader.Kind != KindRanked || leader.Rank != i+2 {
+				t.Fatalf("assignment %d: leader is %v, want rank(%d)", i, leader, i+2)
+			}
+		} else {
+			// Last rank of a non-final phase: leader enters waiting.
+			if !becameWaiting || leader.Kind != KindWait || leader.Wait != p.WaitInit() {
+				t.Fatalf("after final assignment leader is %v, want wait(%d)", leader, p.WaitInit())
+			}
+		}
+	}
+}
+
+func TestRankingLastPhaseLeaderKeepsRankOne(t *testing.T) {
+	const n = 8
+	p := New(n, DefaultParams())
+	kMax := p.Phases().KMax() // 3
+	leader := RankedState(1)
+	v := PhaseState(kMax)
+	became := p.Ranking(&leader, &v)
+	if became {
+		t.Fatal("leader entered waiting in the final phase")
+	}
+	if v.Kind != KindRanked || v.Rank != 2 {
+		t.Fatalf("final-phase agent got %v, want rank(2)", v)
+	}
+	if leader.Kind != KindRanked || leader.Rank != 1 {
+		t.Fatalf("leader is %v, want rank(1)", leader)
+	}
+}
+
+func TestRankingDoesNothingWhenResponderNotPhase(t *testing.T) {
+	p := New(16, DefaultParams())
+	cases := []struct{ u, v State }{
+		{RankedState(3), RankedState(5)},
+		{RankedState(3), WaitState(4)},
+		{PhaseState(1), RankedState(5)},
+		{WaitState(2), RankedState(5)},
+		{WaitState(2), WaitState(3)},
+	}
+	for _, tc := range cases {
+		u, v := tc.u, tc.v
+		if p.Ranking(&u, &v) {
+			t.Errorf("Ranking(%v, %v) reported uBecameWaiting", tc.u, tc.v)
+		}
+		if u != tc.u || v != tc.v {
+			t.Errorf("Ranking(%v, %v) mutated states to (%v, %v)", tc.u, tc.v, u, v)
+		}
+	}
+}
+
+func TestRankingLastRankAdvancesPhase(t *testing.T) {
+	// The agent holding rank f_k tells phase-k agents the phase is done
+	// (Protocol 2 lines 10–11).
+	const n = 16
+	p := New(n, DefaultParams())
+	fk := p.Phases().F(1) // 16
+	u := RankedState(fk)
+	v := PhaseState(1)
+	p.Ranking(&u, &v)
+	if v.Kind != KindPhase || v.Phase != 2 {
+		t.Fatalf("phase agent became %v, want phase(2)", v)
+	}
+	if u.Kind != KindRanked || u.Rank != fk {
+		t.Fatalf("rank-f_k agent changed: %v", u)
+	}
+}
+
+func TestRankingPhaseSaturatesAtKMax(t *testing.T) {
+	// DESIGN.md note 3: the increment saturates at ⌈log₂ n⌉ because the
+	// state space ends there.
+	const n = 16
+	p := New(n, DefaultParams())
+	kMax := p.Phases().KMax()
+	u := RankedState(p.Phases().F(kMax))
+	v := PhaseState(kMax)
+	p.Ranking(&u, &v)
+	if v.Kind != KindPhase || v.Phase != kMax {
+		t.Fatalf("phase agent became %v, want saturated phase(%d)", v, kMax)
+	}
+}
+
+func TestRankingPhaseEpidemicTakesMax(t *testing.T) {
+	p := New(64, DefaultParams())
+	u, v := PhaseState(3), PhaseState(5)
+	p.Ranking(&u, &v)
+	if u.Phase != 5 || v.Phase != 5 {
+		t.Fatalf("phase epidemic gave (%v, %v), want both phase(5)", u, v)
+	}
+	u, v = PhaseState(4), PhaseState(2)
+	p.Ranking(&u, &v)
+	if u.Phase != 4 || v.Phase != 4 {
+		t.Fatalf("phase epidemic gave (%v, %v), want both phase(4)", u, v)
+	}
+}
+
+func TestRankingWaitCountdown(t *testing.T) {
+	p := New(16, DefaultParams())
+	u := WaitState(2)
+	v := PhaseState(1)
+	p.Ranking(&u, &v)
+	if u.Kind != KindWait || u.Wait != 1 {
+		t.Fatalf("after one meeting: %v, want wait(1)", u)
+	}
+	p.Ranking(&u, &v)
+	if u.Kind != KindRanked || u.Rank != 1 {
+		t.Fatalf("after countdown: %v, want rank(1)", u)
+	}
+	if v.Kind != KindPhase {
+		t.Fatalf("phase agent changed: %v", v)
+	}
+}
+
+func TestRankingNonLeaderRankedAgentsInert(t *testing.T) {
+	// A ranked agent that is neither the unaware leader (rank ≤ width)
+	// nor the last rank of the phase does nothing to a phase agent.
+	const n = 16
+	p := New(n, DefaultParams())
+	width := p.Phases().Width(1) // 8
+	fk := p.Phases().F(1)        // 16
+	for r := width + 1; r < fk; r++ {
+		u := RankedState(r)
+		v := PhaseState(1)
+		p.Ranking(&u, &v)
+		if u != RankedState(r) || v != PhaseState(1) {
+			t.Fatalf("rank %d mutated (%v, %v)", r, u, v)
+		}
+	}
+}
+
+// TestPhasesProperties checks the phase-geometry invariants for all n in
+// [2, 2048] plus random larger n via testing/quick.
+func TestPhasesProperties(t *testing.T) {
+	check := func(n int) error {
+		p := NewPhases(n)
+		kMax := p.KMax()
+		if int(kMax) != ceilLog2(n) {
+			return errf("n=%d: kMax=%d, want ⌈log₂n⌉=%d", n, kMax, ceilLog2(n))
+		}
+		if p.F(1) != int32(n) || p.F(kMax+1) != 1 || p.F(kMax) != 2 {
+			return errf("n=%d: f₁=%d f_kmax=%d f_{kmax+1}=%d", n, p.F(1), p.F(kMax), p.F(kMax+1))
+		}
+		total := int32(1) // leader's rank 1
+		for k := int32(1); k <= kMax; k++ {
+			lo, hi := p.AssignRange(k)
+			if hi-lo+1 != p.Width(k) {
+				return errf("n=%d k=%d: range [%d,%d] vs width %d", n, k, lo, hi, p.Width(k))
+			}
+			if p.Width(k) < 1 {
+				return errf("n=%d k=%d: empty phase", n, k)
+			}
+			// The unaware-leader rank range never collides with ranks
+			// already assigned: width(k) < f_{k+1}+1.
+			if p.Width(k) > p.F(k+1) {
+				return errf("n=%d k=%d: width %d exceeds f_{k+1}=%d", n, k, p.Width(k), p.F(k+1))
+			}
+			total += p.Width(k)
+		}
+		if total != int32(n) {
+			return errf("n=%d: phases assign %d ranks, want %d", n, total, n)
+		}
+		// Ranges tile [2, n] in descending order.
+		expectHi := int32(n)
+		for k := int32(1); k <= kMax; k++ {
+			lo, hi := p.AssignRange(k)
+			if hi != expectHi {
+				return errf("n=%d k=%d: hi=%d, want %d", n, k, hi, expectHi)
+			}
+			expectHi = lo - 1
+		}
+		if expectHi != 1 {
+			return errf("n=%d: ranges do not tile down to 2 (stopped at %d)", n, expectHi+1)
+		}
+		return nil
+	}
+	for n := 2; n <= 2048; n++ {
+		if err := check(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(m uint16) bool {
+		n := int(m)%1_000_000 + 2
+		return check(n) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseOfRank(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 100, 257} {
+		p := NewPhases(n)
+		for r := int32(2); r <= int32(n); r++ {
+			k := p.PhaseOfRank(r)
+			lo, hi := p.AssignRange(k)
+			if r < lo || r > hi {
+				t.Fatalf("n=%d: PhaseOfRank(%d)=%d but range is [%d,%d]", n, r, k, lo, hi)
+			}
+		}
+	}
+}
+
+func TestPhasesPanics(t *testing.T) {
+	p := NewPhases(8)
+	for _, fn := range []func(){
+		func() { NewPhases(1) },
+		func() { p.F(0) },
+		func() { p.F(p.KMax() + 2) },
+		func() { p.PhaseOfRank(1) },
+		func() { p.PhaseOfRank(9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func ceilLog2(n int) int {
+	k, p := 0, 1
+	for p < n {
+		p <<= 1
+		k++
+	}
+	return k
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"ssrank/internal/leaderelect"
+)
+
+// Kind identifies which of the four mutually exclusive roles an agent is
+// in. The paper's state space is the disjoint union of the four roles'
+// variables (§IV): each agent has exactly one of qLE, waitCount, phase,
+// or rank defined at any time.
+type Kind uint8
+
+const (
+	// KindLE marks a leader-electing agent (qLE ≠ ⊥).
+	KindLE Kind = iota + 1
+	// KindWait marks a waiting agent (waitCount ≠ ⊥).
+	KindWait
+	// KindPhase marks a phase agent (phase ≠ ⊥).
+	KindPhase
+	// KindRanked marks a ranked agent (rank ≠ ⊥).
+	KindRanked
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindLE:
+		return "leader-electing"
+	case KindWait:
+		return "waiting"
+	case KindPhase:
+		return "phase"
+	case KindRanked:
+		return "ranked"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// State is the per-agent state of SpaceEfficientRanking. Exactly one of
+// the role-specific fields is meaningful, selected by Kind.
+type State struct {
+	Kind Kind
+	// Rank is the agent's rank in 1..n (KindRanked).
+	Rank int32
+	// Phase is the agent's saved phase in 1..⌈log₂ n⌉ (KindPhase).
+	Phase int32
+	// Wait is the remaining wait counter in 1..⌈c_wait·log₂ n⌉
+	// (KindWait).
+	Wait int32
+	// LE is the leader-election sub-state (KindLE).
+	LE leaderelect.State
+}
+
+// RankedState returns a ranked-agent state.
+func RankedState(rank int32) State { return State{Kind: KindRanked, Rank: rank} }
+
+// PhaseState returns a phase-agent state.
+func PhaseState(phase int32) State { return State{Kind: KindPhase, Phase: phase} }
+
+// WaitState returns a waiting-agent state.
+func WaitState(wait int32) State { return State{Kind: KindWait, Wait: wait} }
+
+// String renders the state compactly for traces and test failures.
+func (s State) String() string {
+	switch s.Kind {
+	case KindLE:
+		return fmt.Sprintf("LE{contender=%t done=%t lvl=%d}", s.LE.Contender, s.LE.Done, s.LE.Level)
+	case KindWait:
+		return fmt.Sprintf("wait(%d)", s.Wait)
+	case KindPhase:
+		return fmt.Sprintf("phase(%d)", s.Phase)
+	case KindRanked:
+		return fmt.Sprintf("rank(%d)", s.Rank)
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(s.Kind))
+	}
+}

@@ -1,0 +1,145 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/baseline/cai"
+	"ssrank/internal/baseline/interval"
+	"ssrank/internal/plot"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+	"ssrank/internal/stats"
+)
+
+// BaselineComparison (E6) compares stabilization times of the
+// related-work baselines against StableRanking:
+//
+//   - cai: n states, Θ(n³) expected — the space-minimal extreme;
+//   - stable: n + O(log² n) states, Θ(n² log n) — the paper;
+//
+// and fits log-log growth exponents, reproducing the related-work
+// table of §II in measured form ("who wins, by what factor, where the
+// crossover falls").
+func BaselineComparison(opts Options) Figure {
+	ns := []int{16, 32, 64, 128, 256}
+	trials := 6
+	if opts.Quick {
+		ns = []int{16, 32, 64}
+		trials = 3
+	}
+	fig := Figure{
+		ID:     "E6",
+		Title:  "Related work — stabilization interactions: cai (n states) vs StableRanking",
+		Header: []string{"protocol", "n", "trials", "median_interactions", "median_over_n2logn"},
+	}
+
+	caiLine := plot.Series{Name: "cai (Θ(n³))"}
+	stableLine := plot.Series{Name: "stable (Θ(n² log n))"}
+	var caiX, caiY, stX, stY []float64
+
+	for _, n := range ns {
+		lg := math.Log2(float64(n))
+
+		var caiTimes []float64
+		seeds := rng.New(opts.Seed ^ uint64(61*n))
+		for trial := 0; trial < trials; trial++ {
+			p := cai.New(n)
+			r := sim.New[cai.State](p, p.InitialStates(), seeds.Uint64())
+			steps, err := r.RunUntil(cai.Valid, 0, int64(2000)*int64(n)*int64(n)*int64(n))
+			if err != nil {
+				continue
+			}
+			caiTimes = append(caiTimes, float64(steps))
+		}
+		med := stats.Median(caiTimes)
+		fig.Rows = append(fig.Rows, []string{"cai", itoa(n), itoa(len(caiTimes)), f4(med), f4(med / (float64(n) * float64(n) * lg))})
+		caiLine.X = append(caiLine.X, lg)
+		caiLine.Y = append(caiLine.Y, math.Log2(med))
+		caiX = append(caiX, float64(n))
+		caiY = append(caiY, med)
+
+		var stTimes []float64
+		for trial := 0; trial < trials; trial++ {
+			p := stable.New(n, stable.DefaultParams())
+			r := sim.New[stable.State](p, p.InitialStates(), seeds.Uint64())
+			steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000))
+			if err != nil {
+				continue
+			}
+			stTimes = append(stTimes, float64(steps))
+		}
+		med = stats.Median(stTimes)
+		fig.Rows = append(fig.Rows, []string{"stable", itoa(n), itoa(len(stTimes)), f4(med), f4(med / (float64(n) * float64(n) * lg))})
+		stableLine.X = append(stableLine.X, lg)
+		stableLine.Y = append(stableLine.Y, math.Log2(med))
+		stX = append(stX, float64(n))
+		stY = append(stY, med)
+	}
+
+	fig.ASCII = plot.Lines("log₂ median interactions (x = log₂ n)", 72, 14, caiLine, stableLine)
+	if len(caiX) >= 2 && len(stX) >= 2 {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"log-log growth exponents: cai %.2f (theory 3), stable %.2f (theory 2 + log factor)",
+			stats.LogLogSlope(caiX, caiY), stats.LogLogSlope(stX, stY)))
+		last := len(caiY) - 1
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"at n=%d the paper's protocol is ×%.1f faster than the n-state baseline; the gap widens linearly in n",
+			int(caiX[last]), caiY[last]/stY[len(stY)-1]))
+	}
+	return fig
+}
+
+// TradeoffEpsilon (E7) measures the time-vs-range trade-off of the
+// relaxed-range protocol (Gąsieniec et al.): interactions to a silent
+// valid ranking over the range [1, (1+ε)n] versus their lower bound
+// n(n−1)/(2(r+1)), r = effective slack.
+func TradeoffEpsilon(opts Options) Figure {
+	n := 256
+	trials := 10
+	if opts.Quick {
+		n = 100
+		trials = 5
+	}
+	// ε = 0 with n a power of two gives a genuinely tight identifier
+	// space (m = n); the power-of-two rounding makes every ε in (0, 1]
+	// equivalent at n = 256 (m = 512), so the sweep covers the distinct
+	// effective spaces {n, 2n, 4n, 8n}.
+	epsilons := []float64{0, 0.25, 2, 4}
+
+	fig := Figure{
+		ID:     "E7",
+		Title:  fmt.Sprintf("Trade-off — interval protocol, interactions vs ε (n=%d)", n),
+		Header: []string{"epsilon", "effective_m", "trials", "median_interactions", "lower_bound"},
+	}
+	measured := plot.Series{Name: "measured median"}
+	bound := plot.Series{Name: "lower bound n(n-1)/(2(r+1))"}
+	for _, eps := range epsilons {
+		p := interval.New(n, eps)
+		var times []float64
+		seeds := rng.New(opts.Seed ^ uint64(eps*1000) ^ uint64(n))
+		for trial := 0; trial < trials; trial++ {
+			r := sim.New[interval.State](p, p.InitialStates(), seeds.Uint64())
+			steps, err := r.RunUntil(interval.Valid, 0, int64(5000)*int64(n)*int64(n))
+			if err != nil {
+				continue
+			}
+			times = append(times, float64(steps))
+		}
+		slack := int(p.M()) - n
+		lb := interval.LowerBound(n, slack)
+		med := stats.Median(times)
+		fig.Rows = append(fig.Rows, []string{f2(eps), itoa(int(p.M())), itoa(len(times)), f4(med), f4(lb)})
+		measured.X = append(measured.X, eps)
+		measured.Y = append(measured.Y, math.Log2(med))
+		bound.X = append(bound.X, eps)
+		bound.Y = append(bound.Y, math.Log2(lb))
+	}
+	fig.ASCII = plot.Lines("log₂ interactions vs ε", 72, 14, measured, bound)
+	fig.Notes = append(fig.Notes,
+		"the measured curve must sit above the lower bound everywhere, and the tight range (ε=0, r=0, lower bound n(n−1)/2) must be far slower than any slack — the axis of the trade-off StableRanking refuses (it pays Θ(n² log n) time to keep the exact range)")
+	fig.Notes = append(fig.Notes,
+		"our simplified splitter does not attain Gąsieniec et al.'s O(n log n/ε) upper bound (descents rendezvous within subtrees), so beyond ≈2n of slack the curve flattens; the qualitative ordering tight ≫ slack is what carries the comparison")
+	return fig
+}

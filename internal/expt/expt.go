@@ -1,0 +1,118 @@
+// Package expt defines the experiment harness: one generator per paper
+// figure and per measurable claim (the E1..E14 index of DESIGN.md §3).
+// Each generator returns a Figure carrying machine-readable rows (CSV)
+// and a terminal rendering (ASCII chart or table), plus notes comparing
+// the measurement against what the paper predicts.
+//
+// All experiments are deterministic functions of Options.Seed.
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/plot"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick shrinks population ranges and trial counts to keep a full
+	// harness run in the seconds range (used by benchmarks and smoke
+	// runs). The full-scale settings reproduce the paper's ranges.
+	Quick bool
+}
+
+// DefaultOptions returns the full-scale configuration.
+func DefaultOptions() Options { return Options{Seed: 0x5eed} }
+
+// QuickOptions returns the scaled-down configuration.
+func QuickOptions() Options { return Options{Seed: 0x5eed, Quick: true} }
+
+// Figure is the result of one experiment.
+type Figure struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title describes the artifact being reproduced.
+	Title string
+	// Header and Rows are the machine-readable result table.
+	Header []string
+	Rows   [][]string
+	// ASCII is a terminal rendering (chart or table).
+	ASCII string
+	// Notes record findings and the paper-vs-measured comparison.
+	Notes []string
+}
+
+// CSV renders the figure's data as CSV.
+func (f Figure) CSV() string { return plot.CSV(f.Header, f.Rows) }
+
+// String renders the figure for the terminal.
+func (f Figure) String() string {
+	out := fmt.Sprintf("== %s: %s ==\n%s", f.ID, f.Title, f.ASCII)
+	for _, n := range f.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// All runs every experiment in index order.
+func All(opts Options) []Figure {
+	return []Figure{
+		Figure2(opts),
+		Figure3(opts),
+		CensusTable(opts),
+		Theorem1Shape(opts),
+		Theorem2Shape(opts),
+		BaselineComparison(opts),
+		TradeoffEpsilon(opts),
+		AblationCWait(opts),
+		CoinBalance(opts),
+		FaultRecovery(opts),
+		LEShape(opts),
+		FastLESuccess(opts),
+		EpidemicTail(opts),
+		DeadConfigReset(opts),
+		AblationResetWave(opts),
+		AblationLEBudget(opts),
+		PhaseStructure(opts),
+		LooseVsSilent(opts),
+	}
+}
+
+// Registry maps experiment IDs to their generators, for the CLI.
+var Registry = map[string]func(Options) Figure{
+	"E1":  Figure2,
+	"E2":  Figure3,
+	"E3":  CensusTable,
+	"E4":  Theorem1Shape,
+	"E5":  Theorem2Shape,
+	"E6":  BaselineComparison,
+	"E7":  TradeoffEpsilon,
+	"E8":  AblationCWait,
+	"E9":  CoinBalance,
+	"E10": FaultRecovery,
+	"E11": LEShape,
+	"E12": FastLESuccess,
+	"E13": EpidemicTail,
+	"E14": DeadConfigReset,
+	"E15": AblationResetWave,
+	"E16": AblationLEBudget,
+	"E17": PhaseStructure,
+	"E18": LooseVsSilent,
+}
+
+// budget returns c·n²·log₂ n.
+func budget(n int, c float64) int64 {
+	return int64(c * float64(n) * float64(n) * math.Log2(float64(n)))
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f4 formats a float with four significant digits.
+func f4(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// itoa formats an int.
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,111 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllQuickExperimentsProduceData runs every experiment at quick
+// scale and checks structural health: rows present, CSV well-formed,
+// ASCII non-empty, determinism across runs.
+func TestAllQuickExperimentsProduceData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	opts := QuickOptions()
+	figs := All(opts)
+	if len(figs) != len(Registry) {
+		t.Fatalf("All returned %d figures, registry has %d", len(figs), len(Registry))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Fatalf("duplicate figure ID %s", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Rows) == 0 {
+			t.Errorf("%s: no data rows", f.ID)
+		}
+		for _, row := range f.Rows {
+			if len(row) != len(f.Header) {
+				t.Errorf("%s: row width %d != header width %d", f.ID, len(row), len(f.Header))
+			}
+		}
+		if !strings.Contains(f.CSV(), ",") {
+			t.Errorf("%s: CSV looks empty", f.ID)
+		}
+		if f.ASCII == "" {
+			t.Errorf("%s: no ASCII rendering", f.ID)
+		}
+		if f.String() == "" {
+			t.Errorf("%s: no String rendering", f.ID)
+		}
+	}
+}
+
+func TestRegistryHasAllExperiments(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"} {
+		if Registry[id] == nil {
+			t.Errorf("registry missing %s", id)
+		}
+	}
+}
+
+func TestFigure2Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	a := Figure2(QuickOptions())
+	b := Figure2(QuickOptions())
+	if a.CSV() != b.CSV() {
+		t.Fatal("Figure2 not deterministic for a fixed seed")
+	}
+}
+
+func TestFigure2ShowsRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	f := Figure2(QuickOptions())
+	// The run must end stabilized and have at least one reset (the
+	// worst-case init is dead until the liveness counter fires).
+	joined := strings.Join(f.Notes, "\n")
+	if strings.Contains(joined, "NOT stabilized") {
+		t.Fatalf("figure 2 run did not stabilize: %v", f.Notes)
+	}
+	if !strings.Contains(joined, "first reset") {
+		t.Fatalf("figure 2 run shows no reset: %v", f.Notes)
+	}
+}
+
+func TestFig3HittingTimesOrdered(t *testing.T) {
+	times := fig3HittingTimes(128, 7)
+	prev := 0.0
+	for i, v := range times {
+		if v < 0 {
+			t.Fatalf("fraction %d not reached", i)
+		}
+		if v < prev {
+			t.Fatalf("hitting times not monotone: %v", times)
+		}
+		prev = v
+	}
+}
+
+func TestOneShotFastLECounts(t *testing.T) {
+	// Across seeds the outcome must take values in {0, 1, 2+} and be
+	// frequently 1.
+	ones, total := 0, 40
+	for seed := 0; seed < total; seed++ {
+		l := oneShotFastLE(128, uint64(seed))
+		if l < 0 {
+			t.Fatalf("seed %d: did not decide", seed)
+		}
+		if l == 1 {
+			ones++
+		}
+	}
+	if ones < total/10 {
+		t.Fatalf("unique-leader outcomes: %d/%d, implausibly low", ones, total)
+	}
+}

@@ -1,0 +1,132 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/faults"
+	"ssrank/internal/plot"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+	"ssrank/internal/stats"
+)
+
+// FaultRecovery (E10) is the self-stabilization experiment the theorem
+// promises but the paper's evaluation only samples (Fig. 2 is one
+// worst-case instance): corrupt k agents of a stabilized population
+// with uniformly random states and measure the re-stabilization time.
+func FaultRecovery(opts Options) Figure {
+	n := 256
+	trials := 10
+	if opts.Quick {
+		n = 64
+		trials = 4
+	}
+	ks := []int{1, n / 16, n / 4, n}
+
+	fig := Figure{
+		ID:     "E10",
+		Title:  fmt.Sprintf("Self-stabilization — recovery after corrupting k of %d agents", n),
+		Header: []string{"k", "trials", "recovered", "median_recovery_over_n2logn", "mean_resets"},
+	}
+	line := plot.Series{Name: "median normalized recovery"}
+
+	for _, k := range ks {
+		var norms, resets []float64
+		recovered := 0
+		seeds := rng.New(opts.Seed ^ uint64(10*k+n))
+		for trial := 0; trial < trials; trial++ {
+			p := stable.New(n, stable.DefaultParams())
+			r := sim.New[stable.State](p, p.InitialStates(), seeds.Uint64())
+			if _, err := r.RunUntil(stable.Valid, 0, budget(n, 3000)); err != nil {
+				continue
+			}
+			start := r.Steps()
+			faults.Corrupt(r.States(), k, seeds.Split(), p.RandomState)
+			if stable.Valid(r.States()) {
+				// The corruption happened to preserve the permutation
+				// (possible for tiny k); recovery time is zero.
+				recovered++
+				norms = append(norms, 0)
+				continue
+			}
+			if _, err := r.RunUntil(stable.Valid, 0, start+budget(n, 3000)); err != nil {
+				continue
+			}
+			recovered++
+			norms = append(norms, float64(r.Steps()-start)/(float64(n)*float64(n)*math.Log2(float64(n))))
+			resets = append(resets, float64(p.Resets()))
+		}
+		fig.Rows = append(fig.Rows, []string{
+			itoa(k), itoa(trials), itoa(recovered), f4(stats.Median(norms)), f2(stats.Mean(resets)),
+		})
+		line.X = append(line.X, float64(k))
+		line.Y = append(line.Y, stats.Median(norms))
+	}
+	fig.ASCII = plot.Lines("median recovery / (n² log₂ n) vs corrupted agents k", 72, 12, line)
+	fig.Notes = append(fig.Notes,
+		"Theorem 2 promises O(n² log n) recovery regardless of k; even k=1 can force a full reset (duplicate rank), so the curve is expected to be roughly flat in k")
+	return fig
+}
+
+// DeadConfigReset (E14) measures the detection machinery of §V-C /
+// Lemmas 24–26: from each family of dead configurations (no productive
+// pairs), how long until the protocol triggers its first reset, and
+// until full stabilization.
+func DeadConfigReset(opts Options) Figure {
+	n := 128
+	trials := 10
+	if opts.Quick {
+		n = 64
+		trials = 4
+	}
+	configs := []struct {
+		name string
+		make func(p *stable.Protocol) []stable.State
+	}{
+		{"duplicate-ranks (L24)", func(p *stable.Protocol) []stable.State { return p.DuplicateRanksInit() }},
+		{"single-unranked (L25)", func(p *stable.Protocol) []stable.State { return p.SingleUnrankedInit() }},
+		{"many-unranked (L26)", func(p *stable.Protocol) []stable.State { return p.ManyUnrankedInit(n / 4) }},
+	}
+
+	fig := Figure{
+		ID:     "E14",
+		Title:  fmt.Sprintf("Lemmas 24–26 — dead-configuration detection (n=%d)", n),
+		Header: []string{"config", "trials", "median_detect_over_n2logn", "median_stabilize_over_n2logn", "dominant_reason"},
+	}
+	for _, cfg := range configs {
+		var detect, total []float64
+		reasons := map[string]int64{}
+		seeds := rng.New(opts.Seed ^ uint64(14*n))
+		for trial := 0; trial < trials; trial++ {
+			p := stable.New(n, stable.DefaultParams())
+			r := sim.New[stable.State](p, cfg.make(p), seeds.Uint64())
+			steps, err := r.RunUntil(func([]stable.State) bool { return p.Resets() > 0 }, 0, budget(n, 3000))
+			if err != nil {
+				continue
+			}
+			norm := float64(n) * float64(n) * math.Log2(float64(n))
+			detect = append(detect, float64(steps)/norm)
+			for reason, c := range p.ResetBreakdown() {
+				reasons[reason] += c
+			}
+			if _, err := r.RunUntil(stable.Valid, 0, steps+budget(n, 3000)); err == nil {
+				total = append(total, float64(r.Steps())/norm)
+			}
+		}
+		dominant, best := "-", int64(0)
+		for reason, c := range reasons {
+			if c > best {
+				dominant, best = reason, c
+			}
+		}
+		fig.Rows = append(fig.Rows, []string{
+			cfg.name, itoa(trials), f4(stats.Median(detect)), f4(stats.Median(total)), dominant,
+		})
+	}
+	fig.ASCII = plot.Table(fig.Header, fig.Rows)
+	fig.Notes = append(fig.Notes,
+		"Lemmas 24–26 bound detection by O(n² log n) w.h.p. for all three families; duplicate ranks detect via direct meetings (fast), the unranked families via the liveness counter (the Θ(n² log n) term)")
+	return fig
+}

@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/baseline/sudo"
+	"ssrank/internal/plot"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+	"ssrank/internal/stats"
+)
+
+// LooseVsSilent (E18) measures the related-work trade-off of §II
+// between loosely-stabilizing leader election (Sudo et al.) and the
+// paper's silent, ranking-based leader election:
+//
+//   - convergence: loose LE reaches a unique leader far faster than
+//     any silent protocol, evading the Ω(n² log n) lower bound by
+//     never becoming silent (this simplified variant pays Θ(n²) for
+//     duel elimination; Sudo et al.'s full constructions reach
+//     O(n log n));
+//   - permanence: the silent protocol holds the leader forever (it is
+//     a stable configuration), while loose LE only holds w.h.p. for a
+//     holding time tuned by its timeout factor.
+func LooseVsSilent(opts Options) Figure {
+	ns := []int{64, 128, 256, 512}
+	trials := 10
+	holdBudgetFactor := 2000.0 // interactions (×n·log n) we probe the holding time for
+	if opts.Quick {
+		ns = []int{64, 128}
+		trials = 4
+		holdBudgetFactor = 200
+	}
+
+	fig := Figure{
+		ID:    "E18",
+		Title: "Loose vs silent leader election — convergence and holding time",
+		Header: []string{"n", "loose_median_conv_over_n2", "loose_survived_hold_budget",
+			"silent_median_conv_over_n2logn", "speedup"},
+	}
+	looseLine := plot.Series{Name: "loose conv / n²"}
+	silentLine := plot.Series{Name: "silent conv / (n² log n)"}
+
+	for _, n := range ns {
+		lg := math.Log2(float64(n))
+		seeds := rng.New(opts.Seed ^ uint64(18*n))
+
+		// Loosely-stabilizing: convergence from the drained no-leader
+		// start, then probe the holding time.
+		var convs []float64
+		survived := 0
+		for trial := 0; trial < trials; trial++ {
+			p := sudo.New(n, 8)
+			r := sim.New[sudo.State](p, p.InitialStates(), seeds.Uint64())
+			steps, err := r.RunUntil(sudo.UniqueLeader, 0, int64(1000*float64(n)*lg))
+			if err != nil {
+				continue
+			}
+			convs = append(convs, float64(steps)/(float64(n)*float64(n)))
+			// Holding probe: does the unique leader survive the budget?
+			held := true
+			probe := int64(holdBudgetFactor * float64(n) * lg / 100)
+			for i := 0; i < 100; i++ {
+				r.Run(probe)
+				if !sudo.UniqueLeader(r.States()) {
+					held = false
+					break
+				}
+			}
+			if held {
+				survived++
+			}
+		}
+
+		// Silent (the paper's protocol): convergence to a valid ranking
+		// = permanent leader.
+		var silentConvs []float64
+		for trial := 0; trial < trials/2+1; trial++ {
+			p := stable.New(n, stable.DefaultParams())
+			r := sim.New[stable.State](p, p.InitialStates(), seeds.Uint64())
+			if steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000)); err == nil {
+				silentConvs = append(silentConvs, float64(steps)/(float64(n)*float64(n)*lg))
+			}
+		}
+
+		speedup := stats.Median(silentConvs) * lg / stats.Median(convs)
+		fig.Rows = append(fig.Rows, []string{
+			itoa(n),
+			f4(stats.Median(convs)),
+			fmt.Sprintf("%d/%d", survived, len(convs)),
+			f4(stats.Median(silentConvs)),
+			f2(speedup),
+		})
+		looseLine.X = append(looseLine.X, lg)
+		looseLine.Y = append(looseLine.Y, stats.Median(convs))
+		silentLine.X = append(silentLine.X, lg)
+		silentLine.Y = append(silentLine.Y, stats.Median(silentConvs))
+	}
+	fig.ASCII = plot.Lines("normalized convergence (x = log₂ n); note the different normalizations", 72, 12, looseLine, silentLine)
+	fig.Notes = append(fig.Notes,
+		"loose LE converges in Θ(n²) here (duel-dominated; the literature's optimal variants reach O(n log n)) — already a ×(const·log n) absolute speedup over the silent protocol — but keeps churning and only holds the leader w.h.p.; the paper's protocol converges slower and then never changes again (closure tests + model checker)")
+	return fig
+}

@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"fmt"
+
+	"ssrank/internal/core"
+	"ssrank/internal/plot"
+	"ssrank/internal/rng"
+	"ssrank/internal/stats"
+)
+
+// PhaseStructure (E17) opens the hood on Lemmas 6 and 7: it segments
+// SpaceEfficientRanking runs into the alternating waiting/ranking
+// windows of Definition 5 and compares each phase's measured duration
+// against the closed-form expectations the proofs use —
+// NegBin(⌈c_wait log n⌉, (f_k−1)/(n(n−1))) for waiting windows and a
+// sum of geometrics for ranking windows. Matching means the
+// implementation realizes the exact stochastic process the analysis
+// reasons about, not merely the same asymptotics.
+func PhaseStructure(opts Options) Figure {
+	n := 512
+	trials := 8
+	if opts.Quick {
+		n = 128
+		trials = 4
+	}
+
+	p := core.New(n, core.DefaultParams())
+	kMax := p.Phases().KMax()
+
+	// measured[kind][k] collects durations per phase index.
+	waitDur := make(map[int32][]float64)
+	rankDur := make(map[int32][]float64)
+	seeds := rng.New(opts.Seed ^ uint64(17*n))
+	converged := 0
+	for trial := 0; trial < trials; trial++ {
+		windows, ok := core.TrackWindows(p, seeds.Uint64(), int64(n), budget(n, 200))
+		if !ok {
+			continue
+		}
+		converged++
+		for _, w := range windows {
+			if w.Phase > kMax {
+				continue
+			}
+			switch w.Kind {
+			case core.WindowWaiting:
+				waitDur[w.Phase] = append(waitDur[w.Phase], float64(w.Duration()))
+			case core.WindowRanking:
+				rankDur[w.Phase] = append(rankDur[w.Phase], float64(w.Duration()))
+			}
+		}
+	}
+
+	fig := Figure{
+		ID:    "E17",
+		Title: fmt.Sprintf("Lemmas 6–7 — measured vs predicted phase durations (n=%d, %d/%d runs)", n, converged, trials),
+		Header: []string{"phase_k", "wait_measured_mean", "wait_predicted_mean", "wait_ratio",
+			"rank_measured_mean", "rank_predicted_mean", "rank_ratio"},
+	}
+	waitRatio := plot.Series{Name: "wait measured/predicted"}
+	rankRatio := plot.Series{Name: "rank measured/predicted"}
+	for k := int32(1); k <= kMax; k++ {
+		wm := stats.Mean(waitDur[k])
+		rm := stats.Mean(rankDur[k])
+		wp := p.PredictedWaitMean(k)
+		rp := p.PredictedRankMean(k)
+		wr, rr := wm/wp, rm/rp
+		fig.Rows = append(fig.Rows, []string{
+			itoa(int(k)), f4(wm), f4(wp), f2(wr), f4(rm), f4(rp), f2(rr),
+		})
+		if len(waitDur[k]) > 0 {
+			waitRatio.X = append(waitRatio.X, float64(k))
+			waitRatio.Y = append(waitRatio.Y, wr)
+		}
+		if len(rankDur[k]) > 0 {
+			rankRatio.X = append(rankRatio.X, float64(k))
+			rankRatio.Y = append(rankRatio.Y, rr)
+		}
+	}
+	fig.ASCII = plot.Lines("measured/predicted duration per phase k (1 = exact match)", 72, 12, waitRatio, rankRatio)
+	fig.Notes = append(fig.Notes,
+		"ratios ≈ 1 mean the run realizes the exact NegBin/geometric-sum processes inside Lemmas 6–7; phase 1's waiting window runs long when the start-of-ranking epidemic is still converting leader-electing agents (the C_SR caveat of Lemma 3)")
+	fig.Notes = append(fig.Notes,
+		"waiting windows grow like 2^k·n·log n (the epidemic is confined to ever-fewer unranked agents) while ranking windows stay ≈ 2n² — the 'successive phases take increasingly longer' effect visible in Fig. 2")
+	return fig
+}

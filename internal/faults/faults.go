@@ -1,0 +1,56 @@
+// Package faults provides transient-fault injection for
+// self-stabilization experiments: corrupting a subset of agents of a
+// (typically stabilized) population with arbitrary states from the
+// protocol's state space — the adversary model of the paper's
+// self-stabilization guarantee.
+//
+// The injectors are generic over the protocol state type; the caller
+// supplies a state generator (e.g. stable.(*Protocol).RandomState), so
+// the package works for every protocol in this repository.
+package faults
+
+import (
+	"fmt"
+
+	"ssrank/internal/rng"
+)
+
+// Corrupt overwrites k distinct, uniformly chosen agents of states with
+// values drawn from random. It mutates states in place and returns the
+// corrupted indices (sorted by position in the sampled permutation,
+// i.e. unordered). It panics if k is outside [0, len(states)].
+func Corrupt[S any](states []S, k int, r *rng.RNG, random func(*rng.RNG) S) []int {
+	if k < 0 || k > len(states) {
+		panic(fmt.Sprintf("faults: cannot corrupt %d of %d agents", k, len(states)))
+	}
+	idx := r.Perm(len(states))[:k]
+	for _, i := range idx {
+		states[i] = random(r)
+	}
+	return idx
+}
+
+// Swap exchanges the states of k uniformly chosen disjoint agent pairs
+// — a fault that preserves the multiset of states (e.g. keeps a ranking
+// valid), useful as a control: self-stabilizing ranking must remain
+// legal under it. It panics if 2k exceeds the population.
+func Swap[S any](states []S, k int, r *rng.RNG) {
+	if 2*k > len(states) {
+		panic(fmt.Sprintf("faults: cannot swap %d pairs among %d agents", k, len(states)))
+	}
+	idx := r.Perm(len(states))
+	for i := 0; i < k; i++ {
+		a, b := idx[2*i], idx[2*i+1]
+		states[a], states[b] = states[b], states[a]
+	}
+}
+
+// Duplicate copies the state of one uniformly chosen agent over another
+// — the canonical transient fault for ranking protocols (it creates a
+// duplicate rank when both are ranked). It returns the (source, target)
+// indices.
+func Duplicate[S any](states []S, r *rng.RNG) (src, dst int) {
+	src, dst = r.Pair(len(states))
+	states[dst] = states[src]
+	return src, dst
+}

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+)
+
+func TestCorruptCountAndIndices(t *testing.T) {
+	r := rng.New(1)
+	states := make([]int, 100)
+	idx := Corrupt(states, 10, r, func(r *rng.RNG) int { return 1 })
+	if len(idx) != 10 {
+		t.Fatalf("corrupted %d indices", len(idx))
+	}
+	seen := map[int]bool{}
+	changed := 0
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("index %d corrupted twice", i)
+		}
+		seen[i] = true
+	}
+	for _, s := range states {
+		changed += s
+	}
+	if changed != 10 {
+		t.Fatalf("%d agents changed, want 10", changed)
+	}
+}
+
+func TestCorruptZeroIsNoop(t *testing.T) {
+	r := rng.New(1)
+	states := []int{1, 2, 3}
+	Corrupt(states, 0, r, func(r *rng.RNG) int { return 99 })
+	if states[0] != 1 || states[1] != 2 || states[2] != 3 {
+		t.Fatal("Corrupt(0) changed states")
+	}
+}
+
+func TestCorruptPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Corrupt(make([]int, 3), 4, rng.New(1), func(r *rng.RNG) int { return 0 })
+}
+
+func TestSwapPreservesMultiset(t *testing.T) {
+	r := rng.New(2)
+	states := []int{1, 2, 3, 4, 5, 6}
+	sum := 21
+	Swap(states, 3, r)
+	got := 0
+	for _, s := range states {
+		got += s
+	}
+	if got != sum {
+		t.Fatalf("multiset changed: sum %d -> %d", sum, got)
+	}
+}
+
+func TestSwapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Swap(make([]int, 3), 2, rng.New(1))
+}
+
+func TestDuplicateCreatesEqualStates(t *testing.T) {
+	r := rng.New(3)
+	states := []int{10, 20, 30, 40}
+	src, dst := Duplicate(states, r)
+	if src == dst {
+		t.Fatal("src == dst")
+	}
+	if states[dst] != states[src] {
+		t.Fatalf("states[%d]=%d != states[%d]=%d", dst, states[dst], src, states[src])
+	}
+}
+
+// TestRecoveryAfterCorruption is the end-to-end fault-injection
+// experiment in miniature (E10): stabilize, corrupt a quarter of the
+// population, verify re-stabilization.
+func TestRecoveryAfterCorruption(t *testing.T) {
+	const n = 64
+	p := stable.New(n, stable.DefaultParams())
+	r := sim.New[stable.State](p, p.InitialStates(), 5)
+	budget := int64(2000 * float64(n) * float64(n) * math.Log2(float64(n)))
+	if _, err := r.RunUntil(stable.Valid, 0, budget); err != nil {
+		t.Fatal("initial stabilization failed")
+	}
+
+	rr := rng.New(42)
+	Corrupt(r.States(), n/4, rr, p.RandomState)
+	if stable.Valid(r.States()) {
+		t.Skip("corruption happened to preserve validity; nothing to recover")
+	}
+	if _, err := r.RunUntil(stable.Valid, 0, r.Steps()+budget); err != nil {
+		t.Fatalf("did not recover from corruption: %v", p.ResetBreakdown())
+	}
+}
+
+func TestSwapKeepsRankingLegal(t *testing.T) {
+	// The control experiment: swapping states preserves the permutation,
+	// so the protocol must stay silent afterwards.
+	const n = 32
+	p := stable.New(n, stable.DefaultParams())
+	states := make([]stable.State, n)
+	for i := range states {
+		states[i] = stable.Ranked(int32(i + 1))
+	}
+	Swap(states, 8, rng.New(7))
+	if !stable.Valid(states) {
+		t.Fatal("swap broke validity")
+	}
+	r := sim.New[stable.State](p, states, 8)
+	r.Run(int64(10 * n * n))
+	if !stable.Valid(r.States()) || p.Resets() != 0 {
+		t.Fatalf("protocol disturbed a legal swapped configuration (resets=%d)", p.Resets())
+	}
+}

@@ -1,0 +1,294 @@
+// Package leaderelect implements the leader-election substrate required
+// by the paper's non-self-stabilizing protocol SpaceEfficientRanking.
+//
+// The paper (Protocol 1, Lemma 15) uses the protocol of Gąsieniec &
+// Stachowiak [SODA'18] strictly as a black box with the following
+// interface: after O(n log² n) interactions there is, w.h.p., exactly one
+// agent ℓ with isLeader(ℓ) = 1 that also sets leaderDone(ℓ) = 1, and at
+// that time every other agent v has isLeader(v) = 0.
+//
+// This package provides a protocol satisfying that interface, built from
+// primitives the paper itself uses elsewhere:
+//
+//  1. Lottery: every agent starts as a contender and, driven by the
+//     synthetic coin of its interaction partners, counts consecutive
+//     heads until the first tail. The count is the contender's Level —
+//     a geometric random variable, so the maximum over n agents
+//     concentrates around log₂ n.
+//  2. Signature: after the lottery, a contender collects SigLen(n) =
+//     2⌈log₂ n⌉ further coin bits into a Signature, breaking Level ties
+//     with collision probability ≈ 1/n² per pair. A contender with a
+//     complete signature is "armed"; its key is the pair
+//     (Level, Signature), ordered lexicographically.
+//  3. Elimination: the maximum known key spreads by one-way epidemic;
+//     an armed contender whose key is below the known maximum becomes a
+//     follower. Contenders with strictly smaller Level are eliminated
+//     even before arming. Two armed contenders with equal keys resolve
+//     by direct duel (the responder yields).
+//  4. Completion: each agent decrements a done-counter on every
+//     interaction it takes part in; when it reaches zero the agent sets
+//     leaderDone = 1. The counter is Θ(log² n), so completion happens
+//     after Θ(n log² n) interactions — after elimination has w.h.p.
+//     finished.
+//
+// An invariant of the construction (tested) is that at least one
+// contender always survives: the holder of the maximum achieved key is
+// never eliminated by the epidemic, and duels remove only one of two
+// equal contenders.
+//
+// State accounting: this substrate uses O(n·log² n) states (the
+// signature dominates), more than the O(log log n) of [SODA'18]. The
+// paper treats Q_LE as an opaque additive term in Theorem 1's
+// n + Θ(log n) bound; the census in internal/census reports both the
+// paper-analytic and the as-implemented counts. See DESIGN.md §1.
+package leaderelect
+
+import "fmt"
+
+// State is the per-agent leader-election state.
+type State struct {
+	// Coin is the synthetic coin bit, toggled on every interaction in
+	// which the agent is the responder.
+	Coin uint8
+	// Contender reports whether the agent is still in the running.
+	Contender bool
+	// InLottery reports whether the agent is still counting its initial
+	// streak of heads.
+	InLottery bool
+	// Level is the contender's lottery level: the number of consecutive
+	// heads observed before the first tail (capped). For followers it is
+	// meaningless.
+	Level int16
+	// SigBits is the number of signature bits still to collect; the
+	// contender is "armed" when it reaches zero.
+	SigBits int16
+	// Sig is the signature collected so far (MSB first).
+	Sig int32
+	// MaxLevel and MaxSig together form the maximum armed key observed
+	// in the population, spread by one-way epidemic. MaxLevel alone also
+	// tracks the maximum (possibly unarmed) level achieved.
+	MaxLevel int16
+	MaxSig   int32
+	// Done is the leaderDone flag of Lemma 15.
+	Done bool
+	// DoneCtr counts down to Done on every participation.
+	DoneCtr int32
+}
+
+// Protocol is the population protocol; it is immutable and safe to share
+// across runners.
+type Protocol struct {
+	n        int
+	levelCap int16
+	sigLen   int16
+	doneInit int32
+}
+
+// DoneFactor scales the done-counter: DoneCtr starts at
+// DoneFactor·⌈log₂ n⌉². The default is tuned so that elimination has
+// w.h.p. finished before the first leaderDone fires (experiment E11).
+const DoneFactor = 8
+
+// New returns the protocol for a population of n ≥ 2 agents.
+func New(n int) *Protocol {
+	if n < 2 {
+		panic(fmt.Sprintf("leaderelect: n must be >= 2, got %d", n))
+	}
+	lg := CeilLog2(n)
+	sigLen := 2 * lg // tie collision probability 2^{-sigLen} ≈ 1/n²
+	if sigLen > 30 {
+		sigLen = 30 // Sig is an int32
+	}
+	return &Protocol{
+		n:        n,
+		levelCap: int16(3 * lg),
+		sigLen:   int16(sigLen),
+		doneInit: int32(DoneFactor * lg * lg),
+	}
+}
+
+// N returns the population size the protocol was built for.
+func (p *Protocol) N() int { return p.n }
+
+// SigLen returns the number of signature bits a contender collects.
+func (p *Protocol) SigLen() int { return int(p.sigLen) }
+
+// LevelCap returns the maximum lottery level.
+func (p *Protocol) LevelCap() int { return int(p.levelCap) }
+
+// DoneInit returns the initial value of the done-counter.
+func (p *Protocol) DoneInit() int32 { return p.doneInit }
+
+// InitialState returns the start state q₀ for agent index i. The coin is
+// initialized to the index parity so that the population starts with a
+// balanced synthetic coin (the non-self-stabilizing setting controls its
+// own initial configuration; the self-stabilizing wrapper in
+// internal/stable warms the coin up instead).
+func (p *Protocol) InitialState(i int) State {
+	return State{
+		Coin:      uint8(i & 1),
+		Contender: true,
+		InLottery: true,
+		SigBits:   p.sigLen,
+		DoneCtr:   p.doneInit,
+	}
+}
+
+// InitialStates returns the initial configuration for the whole
+// population.
+func (p *Protocol) InitialStates() []State {
+	states := make([]State, p.n)
+	for i := range states {
+		states[i] = p.InitialState(i)
+	}
+	return states
+}
+
+// armed reports whether s is a contender with a complete key.
+func armed(s *State) bool { return s.Contender && !s.InLottery && s.SigBits == 0 }
+
+// keyLess reports whether key (l1, s1) is lexicographically smaller than
+// (l2, s2).
+func keyLess(l1 int16, s1 int32, l2 int16, s2 int32) bool {
+	return l1 < l2 || (l1 == l2 && s1 < s2)
+}
+
+// Transition applies one interaction with initiator u and responder v.
+func (p *Protocol) Transition(u, v *State) {
+	coin := v.Coin
+	v.Coin ^= 1
+
+	// 1. Lottery / signature collection for the initiator.
+	switch {
+	case u.Contender && u.InLottery:
+		if coin == 1 {
+			u.Level++
+			if u.Level >= p.levelCap {
+				u.InLottery = false
+			}
+		} else {
+			u.InLottery = false
+		}
+	case u.Contender && u.SigBits > 0:
+		u.Sig = u.Sig<<1 | int32(coin)
+		u.SigBits--
+	}
+
+	// 2. Epidemic of the maximum key. Levels of still-climbing or
+	// unarmed contenders participate with signature -1 so that any armed
+	// key at the same level beats them (an unarmed contender cannot be
+	// declared winner, but its level already eliminates lower levels).
+	mergeMax(u, v)
+	mergeMax(v, u)
+	ownIntoMax(u)
+	ownIntoMax(v)
+
+	// 3. Elimination by key comparison.
+	eliminate(u)
+	eliminate(v)
+
+	// 4. Direct duel: two armed contenders with equal keys — the
+	// responder yields.
+	if armed(u) && armed(v) && u.Level == v.Level && u.Sig == v.Sig {
+		v.Contender = false
+	}
+
+	// 5. Done counters.
+	tickDone(u)
+	tickDone(v)
+}
+
+// mergeMax folds b's known maximum into a's.
+func mergeMax(a, b *State) {
+	if keyLess(a.MaxLevel, a.MaxSig, b.MaxLevel, b.MaxSig) {
+		a.MaxLevel, a.MaxSig = b.MaxLevel, b.MaxSig
+	}
+}
+
+// ownIntoMax folds an agent's own key into its known maximum. Unarmed
+// contenders contribute (Level, -1).
+func ownIntoMax(s *State) {
+	if !s.Contender {
+		return
+	}
+	sig := int32(-1)
+	if armed(s) {
+		sig = s.Sig
+	}
+	if keyLess(s.MaxLevel, s.MaxSig, s.Level, sig) {
+		s.MaxLevel, s.MaxSig = s.Level, sig
+	}
+}
+
+// eliminate demotes a contender whose key is strictly below the known
+// maximum. Unarmed contenders are demoted only on strictly smaller
+// level (their signature is not yet comparable).
+func eliminate(s *State) {
+	if !s.Contender {
+		return
+	}
+	if s.Level < s.MaxLevel {
+		s.Contender = false
+		return
+	}
+	if armed(s) && s.Level == s.MaxLevel && s.Sig < s.MaxSig {
+		s.Contender = false
+	}
+}
+
+func tickDone(s *State) {
+	if s.Done {
+		return
+	}
+	s.DoneCtr--
+	if s.DoneCtr <= 0 {
+		s.Done = true
+	}
+}
+
+// IsLeader reports whether s currently considers itself a leader.
+func IsLeader(s *State) bool { return s.Contender }
+
+// IsDoneLeader reports the Protocol 1 line 3 condition:
+// isLeader(s) = leaderDone(s) = 1.
+func IsDoneLeader(s *State) bool { return s.Contender && s.Done }
+
+// Contenders counts the agents still in the running.
+func Contenders(states []State) int {
+	c := 0
+	for i := range states {
+		if states[i].Contender {
+			c++
+		}
+	}
+	return c
+}
+
+// UniqueLeaderElected reports whether exactly one contender remains and
+// it has finished (Done).
+func UniqueLeaderElected(states []State) bool {
+	leader := -1
+	for i := range states {
+		if states[i].Contender {
+			if leader >= 0 {
+				return false
+			}
+			leader = i
+		}
+	}
+	return leader >= 0 && states[leader].Done
+}
+
+// CeilLog2 returns ⌈log₂ n⌉ for n ≥ 1, the quantity the paper writes as
+// ⌈log n⌉ throughout.
+func CeilLog2(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("leaderelect: CeilLog2 of %d", n))
+	}
+	k, p := 0, 1
+	for p < n {
+		p <<= 1
+		k++
+	}
+	return k
+}

@@ -1,0 +1,193 @@
+// Package modelcheck exhaustively verifies population protocols for
+// tiny populations by exploring the full configuration space.
+//
+// Self-stabilization (paper §III) demands two properties:
+//
+//   - Closure: legal configurations never change (silent protocols:
+//     no interaction changes any state).
+//   - Probabilistic stabilization: from every configuration, the legal
+//     set is reached with probability 1 in the limit.
+//
+// For a finite protocol under the uniform random scheduler, the second
+// property is equivalent to plain reachability: if from every
+// configuration *some* schedule reaches a legal configuration, and the
+// legal set is closed, then the random schedule is absorbed in it
+// almost surely (standard finite-Markov-chain argument). Both
+// reachability over the full |S|^n configuration graph and closure of
+// the legal set are therefore checkable exactly — which is what this
+// package does, for n small enough that |S|^n fits in memory.
+package modelcheck
+
+import (
+	"fmt"
+)
+
+// Checker verifies one protocol instance over the full configuration
+// space States^N.
+type Checker[S comparable] struct {
+	// States is the per-agent state space (every value an agent may
+	// hold under the protocol's invariant).
+	States []S
+	// N is the population size.
+	N int
+	// Apply is the pure transition function: given (initiator,
+	// responder) it returns their successor states.
+	Apply func(u, v S) (S, S)
+	// Legal reports whether a configuration is in C_L.
+	Legal func(cfg []S) bool
+}
+
+// Result reports the outcome of an exhaustive check.
+type Result[S comparable] struct {
+	// TotalConfigs is |States|^N, the number of configurations checked.
+	TotalConfigs int
+	// LegalConfigs is the number of legal configurations.
+	LegalConfigs int
+	// SilentLegal reports that no interaction changes any legal
+	// configuration (closure + silence).
+	SilentLegal bool
+	// AllReachLegal reports that every configuration can reach the
+	// legal set.
+	AllReachLegal bool
+	// Unreachable holds an example configuration that cannot reach the
+	// legal set (nil when AllReachLegal).
+	Unreachable []S
+	// NotSilent holds a legal configuration with a state-changing
+	// interaction (nil when SilentLegal).
+	NotSilent []S
+}
+
+// MaxConfigs caps the configuration space a Run will enumerate.
+const MaxConfigs = 64 << 20
+
+// Run performs the exhaustive check. It returns an error if the
+// configuration space exceeds MaxConfigs or the checker is malformed.
+func (c *Checker[S]) Run() (Result[S], error) {
+	k := len(c.States)
+	if k == 0 || c.N < 2 || c.Apply == nil || c.Legal == nil {
+		return Result[S]{}, fmt.Errorf("modelcheck: malformed checker (states=%d, n=%d)", k, c.N)
+	}
+	total := 1
+	for i := 0; i < c.N; i++ {
+		if total > MaxConfigs/k {
+			return Result[S]{}, fmt.Errorf("modelcheck: %d^%d configurations exceed the %d cap", k, c.N, MaxConfigs)
+		}
+		total *= k
+	}
+
+	index := make(map[S]int, k)
+	for i, s := range c.States {
+		if _, dup := index[s]; dup {
+			return Result[S]{}, fmt.Errorf("modelcheck: duplicate state %v in state space", s)
+		}
+		index[s] = i
+	}
+
+	// succ computes the successor configuration id for initiator a,
+	// responder b of configuration id.
+	cfg := make([]S, c.N)
+	decode := func(id int) {
+		for i := 0; i < c.N; i++ {
+			cfg[i] = c.States[id%k]
+			id /= k
+		}
+	}
+	encode := func() (int, error) {
+		id, mul := 0, 1
+		for i := 0; i < c.N; i++ {
+			si, ok := index[cfg[i]]
+			if !ok {
+				return 0, fmt.Errorf("modelcheck: transition left the state space: %v", cfg[i])
+			}
+			id += si * mul
+			mul *= k
+		}
+		return id, nil
+	}
+
+	res := Result[S]{TotalConfigs: total, SilentLegal: true}
+
+	// Pass 1: classify legality, silence of legal configs, and build
+	// the forward edges (as flat successor lists).
+	legal := make([]bool, total)
+	succs := make([][]int32, total)
+	for id := 0; id < total; id++ {
+		decode(id)
+		isLegal := c.Legal(cfg)
+		legal[id] = isLegal
+		if isLegal {
+			res.LegalConfigs++
+		}
+		var out []int32
+		for a := 0; a < c.N; a++ {
+			for b := 0; b < c.N; b++ {
+				if a == b {
+					continue
+				}
+				decode(id)
+				nu, nv := c.Apply(cfg[a], cfg[b])
+				if nu == cfg[a] && nv == cfg[b] {
+					continue // self-loop
+				}
+				cfg[a], cfg[b] = nu, nv
+				nid, err := encode()
+				if err != nil {
+					return Result[S]{}, err
+				}
+				out = append(out, int32(nid))
+				if isLegal && res.SilentLegal {
+					res.SilentLegal = false
+					res.NotSilent = snapshotConfig(c, id, k)
+				}
+			}
+		}
+		succs[id] = out
+	}
+
+	// Pass 2: reverse reachability from the legal set. Build reverse
+	// adjacency implicitly by scanning forward edges once.
+	canReach := make([]bool, total)
+	queue := make([]int32, 0, total/4)
+	for id := 0; id < total; id++ {
+		if legal[id] {
+			canReach[id] = true
+			queue = append(queue, int32(id))
+		}
+	}
+	preds := make([][]int32, total)
+	for id := 0; id < total; id++ {
+		for _, nid := range succs[id] {
+			preds[nid] = append(preds[nid], int32(id))
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, pid := range preds[id] {
+			if !canReach[pid] {
+				canReach[pid] = true
+				queue = append(queue, pid)
+			}
+		}
+	}
+
+	res.AllReachLegal = true
+	for id := 0; id < total; id++ {
+		if !canReach[id] {
+			res.AllReachLegal = false
+			res.Unreachable = snapshotConfig(c, id, k)
+			break
+		}
+	}
+	return res, nil
+}
+
+// snapshotConfig decodes configuration id into a fresh slice.
+func snapshotConfig[S comparable](c *Checker[S], id, k int) []S {
+	out := make([]S, c.N)
+	for i := 0; i < c.N; i++ {
+		out[i] = c.States[id%k]
+		id /= k
+	}
+	return out
+}

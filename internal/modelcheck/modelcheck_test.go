@@ -1,0 +1,265 @@
+package modelcheck
+
+import (
+	"testing"
+
+	"ssrank/internal/baseline/aware"
+	"ssrank/internal/baseline/cai"
+	"ssrank/internal/baseline/interval"
+	"ssrank/internal/stable"
+)
+
+// TestStableN2Exhaustive verifies, over the FULL configuration space of
+// StableRanking for n = 2 (every pair of declared states):
+//  1. legal configurations are silent (closure), and
+//  2. every configuration can reach a legal one (with the uniform
+//     scheduler this implies probabilistic stabilization — Theorem 2's
+//     statement, exactly, for n = 2).
+func TestStableN2Exhaustive(t *testing.T) {
+	p := stable.New(2, stable.DefaultParams())
+	states := StableStates(p)
+	c := &Checker[stable.State]{
+		States: states,
+		N:      2,
+		Apply: func(u, v stable.State) (stable.State, stable.State) {
+			p.Transition(&u, &v)
+			return u, v
+		},
+		Legal: func(cfg []stable.State) bool { return stable.Valid(cfg) },
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LegalConfigs != 2 { // (1,2) and (2,1)
+		t.Fatalf("legal configs = %d, want 2", res.LegalConfigs)
+	}
+	if !res.SilentLegal {
+		t.Fatalf("legal configuration not silent: %v", res.NotSilent)
+	}
+	if !res.AllReachLegal {
+		t.Fatalf("configuration cannot reach the legal set: %v (of %d configs)",
+			res.Unreachable, res.TotalConfigs)
+	}
+	t.Logf("verified %d configurations (%d states per agent)", res.TotalConfigs, len(states))
+}
+
+func TestCaiExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		p := cai.New(n)
+		c := &Checker[cai.State]{
+			States: CaiStates(p),
+			N:      n,
+			Apply: func(u, v cai.State) (cai.State, cai.State) {
+				p.Transition(&u, &v)
+				return u, v
+			},
+			Legal: func(cfg []cai.State) bool { return cai.Valid(cfg) },
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SilentLegal || !res.AllReachLegal {
+			t.Fatalf("n=%d: silent=%t reach=%t (unreachable: %v)",
+				n, res.SilentLegal, res.AllReachLegal, res.Unreachable)
+		}
+		// Legal configs are the n! permutations.
+		fact := 1
+		for i := 2; i <= n; i++ {
+			fact *= i
+		}
+		if res.LegalConfigs != fact {
+			t.Fatalf("n=%d: %d legal configs, want %d", n, res.LegalConfigs, fact)
+		}
+	}
+}
+
+func TestIntervalExhaustiveFromRoot(t *testing.T) {
+	// interval is NOT self-stabilizing: some configurations (e.g. all
+	// agents on the same singleton) deadlock... except that the restart
+	// rule makes equal singletons escape. Exhaustively check the space
+	// for small n and document what holds: legal configs are silent; and
+	// with slack (m = 2n) every configuration reaches a legal one.
+	p := interval.New(2, 1.0) // n=2, m=4
+	c := &Checker[interval.State]{
+		States: IntervalStates(p),
+		N:      2,
+		Apply: func(u, v interval.State) (interval.State, interval.State) {
+			p.Transition(&u, &v)
+			return u, v
+		},
+		Legal: func(cfg []interval.State) bool { return interval.Valid(cfg) },
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SilentLegal {
+		t.Fatalf("legal interval config not silent: %v", res.NotSilent)
+	}
+	if !res.AllReachLegal {
+		t.Fatalf("interval n=2 m=4: unreachable example %v", res.Unreachable)
+	}
+}
+
+func TestIntervalN3Exhaustive(t *testing.T) {
+	p := interval.New(3, 1.0) // m = 8, 15 tree blocks
+	c := &Checker[interval.State]{
+		States: IntervalStates(p),
+		N:      3,
+		Apply: func(u, v interval.State) (interval.State, interval.State) {
+			p.Transition(&u, &v)
+			return u, v
+		},
+		Legal: func(cfg []interval.State) bool { return interval.Valid(cfg) },
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SilentLegal || !res.AllReachLegal {
+		t.Fatalf("silent=%t reach=%t unreachable=%v", res.SilentLegal, res.AllReachLegal, res.Unreachable)
+	}
+}
+
+func TestCheckerErrors(t *testing.T) {
+	// Malformed checkers.
+	if _, err := (&Checker[int]{}).Run(); err == nil {
+		t.Fatal("empty checker accepted")
+	}
+	// Duplicate states.
+	c := &Checker[int]{
+		States: []int{1, 1},
+		N:      2,
+		Apply:  func(u, v int) (int, int) { return u, v },
+		Legal:  func([]int) bool { return true },
+	}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("duplicate state space accepted")
+	}
+	// Transition leaving the state space.
+	c = &Checker[int]{
+		States: []int{0, 1},
+		N:      2,
+		Apply:  func(u, v int) (int, int) { return u + 5, v },
+		Legal:  func([]int) bool { return false },
+	}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("escaping transition accepted")
+	}
+	// Space too large.
+	big := make([]int, 5000)
+	for i := range big {
+		big[i] = i
+	}
+	c = &Checker[int]{
+		States: big,
+		N:      3,
+		Apply:  func(u, v int) (int, int) { return u, v },
+		Legal:  func([]int) bool { return true },
+	}
+	if _, err := c.Run(); err == nil {
+		t.Fatal("oversized space accepted")
+	}
+}
+
+func TestCheckerDetectsNonSilence(t *testing.T) {
+	// A protocol whose "legal" configs still move: everything legal,
+	// all states cycle.
+	c := &Checker[int]{
+		States: []int{0, 1},
+		N:      2,
+		Apply:  func(u, v int) (int, int) { return 1 - u, v },
+		Legal:  func([]int) bool { return true },
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SilentLegal {
+		t.Fatal("non-silent protocol declared silent")
+	}
+	if res.NotSilent == nil {
+		t.Fatal("no counterexample reported")
+	}
+}
+
+func TestCheckerDetectsUnreachable(t *testing.T) {
+	// State 2 is absorbing and illegal: configs containing it cannot
+	// reach the legal all-zero config.
+	c := &Checker[int]{
+		States: []int{0, 1, 2},
+		N:      2,
+		Apply: func(u, v int) (int, int) {
+			if u == 1 {
+				u = 0
+			}
+			return u, v
+		},
+		Legal: func(cfg []int) bool { return cfg[0] == 0 && cfg[1] == 0 },
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllReachLegal {
+		t.Fatal("unreachability not detected")
+	}
+	if res.Unreachable == nil {
+		t.Fatal("no counterexample reported")
+	}
+}
+
+func TestEnumerationsMatchInvariants(t *testing.T) {
+	p := stable.New(2, stable.DefaultParams())
+	for _, s := range StableStates(p) {
+		if err := p.CheckInvariant([]stable.State{s, s}); err != nil {
+			t.Fatalf("enumerated state violates invariant: %v (%v)", err, s)
+		}
+	}
+	ip := interval.New(4, 0)
+	if err := ip.CheckInvariant(IntervalStates(ip)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(IntervalStates(ip)); got != 7 { // 4 + 2 + 1 blocks
+		t.Fatalf("interval states = %d, want 7", got)
+	}
+}
+
+// TestAwareN2Exhaustive verifies closure and reachability-of-legality
+// over the full n = 2 configuration space of the aware-leader
+// baseline, the same guarantee TestStableN2Exhaustive gives the
+// paper's protocol.
+func TestAwareN2Exhaustive(t *testing.T) {
+	p := aware.New(2, aware.DefaultParams())
+	states := AwareStates(p)
+	for _, s := range states {
+		if err := p.CheckInvariant([]aware.State{s, s}); err != nil {
+			t.Fatalf("enumerated state violates invariant: %v", err)
+		}
+	}
+	c := &Checker[aware.State]{
+		States: states,
+		N:      2,
+		Apply: func(u, v aware.State) (aware.State, aware.State) {
+			p.Transition(&u, &v)
+			return u, v
+		},
+		Legal: func(cfg []aware.State) bool { return aware.Valid(cfg) },
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LegalConfigs != 2 {
+		t.Fatalf("legal configs = %d, want 2", res.LegalConfigs)
+	}
+	if !res.SilentLegal {
+		t.Fatalf("legal configuration not silent: %v", res.NotSilent)
+	}
+	if !res.AllReachLegal {
+		t.Fatalf("configuration cannot reach the legal set: %v", res.Unreachable)
+	}
+	t.Logf("verified %d configurations (%d states per agent)", res.TotalConfigs, len(states))
+}

@@ -1,0 +1,170 @@
+// Package netsim executes population protocols with one goroutine per
+// agent, exchanging states over channels — the "agents as processes"
+// runtime the population model abstracts (sensor nodes, molecules,
+// …). A central matchmaker draws the same uniform random ordered pairs
+// as the sequential engine; agent state is owned exclusively by its
+// goroutine and crosses only through rendezvous channels, so the
+// runtime is data-race-free by construction.
+//
+// Because the matchmaker draws pairs from the same generator as
+// sim.Runner and transitions are deterministic, a netsim run is
+// bit-identical to a sim run with the same seed — checked by the
+// equivalence test. The package exists for fidelity to the distributed
+// reading of the model (and as an example of a concurrent deployment),
+// not for speed: channel rendezvous costs roughly two orders of
+// magnitude more than an in-place array update.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+)
+
+// ErrBudgetExhausted mirrors sim.ErrBudgetExhausted.
+var ErrBudgetExhausted = errors.New("netsim: interaction budget exhausted before stop condition held")
+
+type msgKind uint8
+
+const (
+	msgInitiate msgKind = iota + 1
+	msgRespond
+	msgReport
+	msgStop
+)
+
+type message[S any] struct {
+	kind msgKind
+	// peer carries the responder's state to the initiator and the
+	// updated state back (msgInitiate / msgRespond).
+	peer chan S
+	// report receives the agent's current state (msgReport).
+	report chan S
+}
+
+// Network runs a protocol over goroutine agents. It is not safe for
+// concurrent use by multiple goroutines; Close must be called to
+// release the agents.
+type Network[S any] struct {
+	proto  sim.Protocol[S]
+	inbox  []chan message[S]
+	rng    *rng.RNG
+	steps  int64
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New starts one goroutine per initial state. The caller must Close
+// the network when done.
+func New[S any](p sim.Protocol[S], states []S, seed uint64) *Network[S] {
+	if len(states) < 2 {
+		panic(fmt.Sprintf("netsim: population needs at least 2 agents, got %d", len(states)))
+	}
+	nw := &Network[S]{
+		proto: p,
+		inbox: make([]chan message[S], len(states)),
+		rng:   rng.New(seed),
+	}
+	for i := range states {
+		nw.inbox[i] = make(chan message[S])
+		nw.wg.Add(1)
+		go nw.agent(states[i], nw.inbox[i])
+	}
+	return nw
+}
+
+// agent is the per-agent event loop: it owns its state and reacts to
+// matchmaker messages until stopped.
+func (nw *Network[S]) agent(state S, inbox chan message[S]) {
+	defer nw.wg.Done()
+	for m := range inbox {
+		switch m.kind {
+		case msgInitiate:
+			// Receive the responder's state, apply the joint
+			// transition, return the responder's updated state.
+			vState := <-m.peer
+			nw.proto.Transition(&state, &vState)
+			m.peer <- vState
+		case msgRespond:
+			m.peer <- state
+			state = <-m.peer
+		case msgReport:
+			m.report <- state
+		case msgStop:
+			return
+		}
+	}
+}
+
+// N returns the population size.
+func (nw *Network[S]) N() int { return len(nw.inbox) }
+
+// Steps returns the number of interactions executed.
+func (nw *Network[S]) Steps() int64 { return nw.steps }
+
+// Step executes one interaction between a uniformly random ordered
+// pair of agents.
+func (nw *Network[S]) Step() {
+	a, b := nw.rng.Pair(len(nw.inbox))
+	peer := make(chan S)
+	nw.inbox[a] <- message[S]{kind: msgInitiate, peer: peer}
+	nw.inbox[b] <- message[S]{kind: msgRespond, peer: peer}
+	nw.steps++
+}
+
+// Run executes k interactions.
+func (nw *Network[S]) Run(k int64) {
+	for i := int64(0); i < k; i++ {
+		nw.Step()
+	}
+}
+
+// Snapshot collects every agent's current state, in agent order.
+func (nw *Network[S]) Snapshot() []S {
+	out := make([]S, len(nw.inbox))
+	report := make(chan S)
+	for i, ch := range nw.inbox {
+		ch <- message[S]{kind: msgReport, report: report}
+		out[i] = <-report
+	}
+	return out
+}
+
+// RunUntil executes interactions until stop holds over a snapshot,
+// polling every checkEvery interactions (< 1 defaults to n). It
+// returns ErrBudgetExhausted when maxSteps is reached first.
+func (nw *Network[S]) RunUntil(stop func([]S) bool, checkEvery, maxSteps int64) (int64, error) {
+	if checkEvery < 1 {
+		checkEvery = int64(len(nw.inbox))
+	}
+	if stop(nw.Snapshot()) {
+		return nw.steps, nil
+	}
+	for nw.steps < maxSteps {
+		chunk := checkEvery
+		if remaining := maxSteps - nw.steps; chunk > remaining {
+			chunk = remaining
+		}
+		nw.Run(chunk)
+		if stop(nw.Snapshot()) {
+			return nw.steps, nil
+		}
+	}
+	return nw.steps, ErrBudgetExhausted
+}
+
+// Close stops all agent goroutines and waits for them to exit. It is
+// idempotent.
+func (nw *Network[S]) Close() {
+	if nw.closed {
+		return
+	}
+	nw.closed = true
+	for _, ch := range nw.inbox {
+		ch <- message[S]{kind: msgStop}
+	}
+	nw.wg.Wait()
+}

@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"testing"
+
+	"ssrank/internal/baseline/cai"
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+)
+
+func TestEquivalenceWithSequentialEngine(t *testing.T) {
+	// The defining property: same protocol, same seed ⇒ bit-identical
+	// trajectory to sim.Runner.
+	const n, steps, seed = 32, 5000, 42
+
+	ps := stable.New(n, stable.DefaultParams())
+	seq := sim.New[stable.State](ps, ps.InitialStates(), seed)
+	seq.Run(steps)
+
+	pn := stable.New(n, stable.DefaultParams())
+	nw := New[stable.State](pn, pn.InitialStates(), seed)
+	defer nw.Close()
+	nw.Run(steps)
+
+	got := nw.Snapshot()
+	want := seq.States()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("agent %d diverged: netsim %v vs sim %v", i, got[i], want[i])
+		}
+	}
+	if ps.Resets() != pn.Resets() {
+		t.Fatalf("reset counts diverged: %d vs %d", ps.Resets(), pn.Resets())
+	}
+}
+
+func TestRunUntilStabilizes(t *testing.T) {
+	const n = 16
+	p := cai.New(n)
+	nw := New[cai.State](p, p.InitialStates(), 7)
+	defer nw.Close()
+	steps, err := nw.RunUntil(cai.Valid, 0, int64(500*n*n*n))
+	if err != nil {
+		t.Fatalf("cai did not stabilize on netsim: %v", err)
+	}
+	if steps != nw.Steps() {
+		t.Fatalf("steps bookkeeping: %d vs %d", steps, nw.Steps())
+	}
+	if !cai.Valid(nw.Snapshot()) {
+		t.Fatal("final snapshot not a permutation")
+	}
+}
+
+func TestRunUntilBudget(t *testing.T) {
+	p := cai.New(8)
+	nw := New[cai.State](p, p.InitialStates(), 1)
+	defer nw.Close()
+	never := func([]cai.State) bool { return false }
+	if _, err := nw.RunUntil(never, 10, 100); err != ErrBudgetExhausted {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestRunUntilImmediate(t *testing.T) {
+	p := cai.New(8)
+	nw := New[cai.State](p, p.InitialStates(), 1)
+	defer nw.Close()
+	steps, err := nw.RunUntil(func([]cai.State) bool { return true }, 0, 100)
+	if err != nil || steps != 0 {
+		t.Fatalf("steps=%d err=%v", steps, err)
+	}
+}
+
+func TestSnapshotOrderAndLiveness(t *testing.T) {
+	p := cai.New(4)
+	states := []cai.State{1, 2, 3, 4}
+	nw := New[cai.State](p, states, 3)
+	defer nw.Close()
+	snap := nw.Snapshot()
+	for i, s := range snap {
+		if s != cai.State(i+1) {
+			t.Fatalf("snapshot[%d] = %d", i, s)
+		}
+	}
+	// Snapshots do not consume interactions.
+	if nw.Steps() != 0 {
+		t.Fatalf("snapshot advanced steps: %d", nw.Steps())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := cai.New(4)
+	nw := New[cai.State](p, p.InitialStates(), 1)
+	nw.Close()
+	nw.Close() // must not panic or deadlock
+}
+
+func TestNewPanicsOnTinyPopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[cai.State](cai.New(2), make([]cai.State, 1), 1)
+}
+
+func BenchmarkNetsimStep(b *testing.B) {
+	p := cai.New(64)
+	nw := New[cai.State](p, p.InitialStates(), 1)
+	defer nw.Close()
+	b.ResetTimer()
+	nw.Run(int64(b.N))
+}

@@ -1,0 +1,62 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesRendersMarkersAndLabels(t *testing.T) {
+	out := Lines("test chart", 40, 10,
+		Series{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		Series{Name: "flat", X: []float64{0, 3}, Y: []float64{1, 1}},
+	)
+	for _, want := range []string{"test chart", "*", "+", "linear", "flat", "|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	out := Lines("empty", 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart output: %s", out)
+	}
+}
+
+func TestLinesDegenerateRanges(t *testing.T) {
+	// Single point: min == max on both axes must not divide by zero.
+	out := Lines("point", 30, 6, Series{Name: "p", X: []float64{5}, Y: []float64{7}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestLinesClampsTinyDimensions(t *testing.T) {
+	out := Lines("tiny", 1, 1, Series{Name: "p", X: []float64{0, 1}, Y: []float64{0, 1}})
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatalf("tiny chart did not clamp:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"a", "1"},
+		{"longer", "23456"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	out := CSV([]string{"a", "b"}, [][]string{{"x,y", `q"u`}})
+	want := "a,b\n\"x,y\",\"q\"\"u\"\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}

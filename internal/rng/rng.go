@@ -1,0 +1,125 @@
+// Package rng provides a small, fast, deterministic random number
+// generator used by the population-protocol scheduler.
+//
+// The generator is xoshiro256** seeded via splitmix64. It is not
+// cryptographically secure; it is chosen for speed (the scheduler draws
+// two random agent indices per interaction, and experiments run billions
+// of interactions) and for reproducibility: a simulation run is a pure
+// function of (initial configuration, seed).
+package rng
+
+import "math/bits"
+
+// RNG is a xoshiro256** pseudo-random number generator.
+//
+// The zero value is not a valid generator; use New. RNG is not safe for
+// concurrent use; give each goroutine its own instance (see Split).
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a generator seeded deterministically from seed.
+// Distinct seeds yield statistically independent streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator state as if freshly created with New(seed).
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1, r.s2, r.s3 = next(), next(), next(), next()
+	// Guard against the all-zero state, which is a fixed point.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift rejection method, which avoids the
+// modulo bias without a division in the common case.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// Pair returns a uniformly random ordered pair (a, b) of distinct
+// integers in [0, n). It panics if n < 2.
+func (r *RNG) Pair(n int) (a, b int) {
+	if n < 2 {
+		panic("rng: Pair called with n < 2")
+	}
+	a = r.Intn(n)
+	b = r.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// Bool returns a fair random boolean.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap, as in
+// math/rand.Shuffle (Fisher–Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split returns a new generator derived from, but statistically
+// independent of, r. Use it to hand independent streams to worker
+// goroutines while keeping the whole experiment a function of one seed.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}

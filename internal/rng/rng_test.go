@@ -1,0 +1,200 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestReseedRestoresStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after Reseed: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			if v := r.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	// Chi-squared goodness of fit over 10 buckets.
+	const n, draws = 10, 100000
+	r := New(99)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; 99.9th percentile is ~27.9.
+	if chi2 > 27.9 {
+		t.Fatalf("chi2 = %.2f, distribution not uniform: %v", chi2, counts)
+	}
+}
+
+func TestPairDistinctAndUniform(t *testing.T) {
+	const n, draws = 5, 200000
+	r := New(5)
+	counts := make(map[[2]int]int)
+	for i := 0; i < draws; i++ {
+		a, b := r.Pair(n)
+		if a == b {
+			t.Fatalf("Pair returned equal elements %d", a)
+		}
+		if a < 0 || a >= n || b < 0 || b >= n {
+			t.Fatalf("Pair out of range: (%d, %d)", a, b)
+		}
+		counts[[2]int{a, b}]++
+	}
+	pairs := n * (n - 1)
+	expected := float64(draws) / float64(pairs)
+	for p, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Errorf("pair %v count %d deviates from expected %.1f", p, c, expected)
+		}
+	}
+	if len(counts) != pairs {
+		t.Fatalf("observed %d distinct ordered pairs, want %d", len(counts), pairs)
+	}
+}
+
+func TestPairPanicsOnSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pair(1) did not panic")
+		}
+	}()
+	New(1).Pair(1)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %.4f, want ~0.5", mean)
+	}
+}
+
+func TestBoolBalanced(t *testing.T) {
+	r := New(13)
+	heads := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool() {
+			heads++
+		}
+	}
+	if math.Abs(float64(heads)-draws/2) > 4*math.Sqrt(draws/4) {
+		t.Fatalf("Bool heads = %d of %d, not balanced", heads, draws)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + r.Intn(64)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(21)
+	s := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("Split stream matched parent %d/100 draws", same)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPair(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		a, c := r.Pair(1024)
+		sink += a + c
+	}
+	_ = sink
+}

@@ -1,0 +1,176 @@
+// Package sim implements the population-protocol execution model used
+// throughout this repository.
+//
+// Model (paper §III): a population of n agents, each holding a state from
+// a protocol-specific state space. Time proceeds in discrete steps; in
+// every step an ordered pair (initiator, responder) of distinct agents is
+// chosen uniformly at random and both agents update their states
+// according to a common deterministic transition function.
+//
+// All protocol randomness is part of the agent state (the synthetic
+// coin), exactly as in the paper, so a run is a pure function of
+// (initial configuration, scheduler seed).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"ssrank/internal/rng"
+)
+
+// Protocol is a population protocol over state type S.
+//
+// Transition applies a single interaction, mutating the initiator u and
+// responder v in place. Implementations must be deterministic: any
+// randomness a protocol needs must live in S (e.g. a synthetic coin).
+type Protocol[S any] interface {
+	Transition(u, v *S)
+}
+
+// ErrBudgetExhausted is returned by RunUntil when the stop condition did
+// not hold within the interaction budget.
+var ErrBudgetExhausted = errors.New("sim: interaction budget exhausted before stop condition held")
+
+// Runner executes a protocol over a concrete population.
+//
+// The zero value is not usable; construct with New. Runner is not safe
+// for concurrent use.
+type Runner[S any] struct {
+	proto  Protocol[S]
+	states []S
+	rng    *rng.RNG
+	steps  int64
+}
+
+// New returns a Runner over the given initial configuration. The states
+// slice is owned by the Runner afterwards and must not be mutated by the
+// caller. It panics if fewer than two agents are supplied, since the
+// pairwise interaction model is undefined below n = 2.
+func New[S any](p Protocol[S], states []S, seed uint64) *Runner[S] {
+	if len(states) < 2 {
+		panic(fmt.Sprintf("sim: population needs at least 2 agents, got %d", len(states)))
+	}
+	return &Runner[S]{proto: p, states: states, rng: rng.New(seed)}
+}
+
+// N returns the population size.
+func (r *Runner[S]) N() int { return len(r.states) }
+
+// Steps returns the number of interactions executed so far.
+func (r *Runner[S]) Steps() int64 { return r.steps }
+
+// States returns the live configuration. The caller must treat it as
+// read-only; use Snapshot for a mutable copy.
+func (r *Runner[S]) States() []S { return r.states }
+
+// Snapshot returns a copy of the current configuration.
+func (r *Runner[S]) Snapshot() []S {
+	out := make([]S, len(r.states))
+	copy(out, r.states)
+	return out
+}
+
+// SetState overwrites the state of agent i. It is intended for fault
+// injection and adversarial initialization in experiments and tests.
+func (r *Runner[S]) SetState(i int, s S) { r.states[i] = s }
+
+// Step executes exactly one interaction.
+func (r *Runner[S]) Step() {
+	a, b := r.rng.Pair(len(r.states))
+	r.proto.Transition(&r.states[a], &r.states[b])
+	r.steps++
+}
+
+// Run executes k interactions.
+func (r *Runner[S]) Run(k int64) {
+	n := len(r.states)
+	for i := int64(0); i < k; i++ {
+		a, b := r.rng.Pair(n)
+		r.proto.Transition(&r.states[a], &r.states[b])
+	}
+	r.steps += k
+}
+
+// RunUntil executes interactions until stop returns true, polling the
+// condition every checkEvery interactions (values < 1 poll every n
+// interactions). It returns the number of interactions executed at the
+// first poll where the condition held. If the condition does not hold
+// within maxSteps interactions it stops and returns ErrBudgetExhausted.
+//
+// The condition is also checked once before the first interaction, so a
+// configuration that already satisfies stop returns immediately.
+func (r *Runner[S]) RunUntil(stop func(states []S) bool, checkEvery, maxSteps int64) (int64, error) {
+	if checkEvery < 1 {
+		checkEvery = int64(len(r.states))
+	}
+	if stop(r.states) {
+		return r.steps, nil
+	}
+	for r.steps < maxSteps {
+		chunk := checkEvery
+		if remaining := maxSteps - r.steps; chunk > remaining {
+			chunk = remaining
+		}
+		r.Run(chunk)
+		if stop(r.states) {
+			return r.steps, nil
+		}
+	}
+	return r.steps, ErrBudgetExhausted
+}
+
+// RunPairs executes an explicit schedule of ordered (initiator,
+// responder) pairs instead of drawing them uniformly. Self-stabilizing
+// protocols are analyzed under the uniform scheduler, but their
+// *closure* property must hold under every schedule — which is what
+// explicit schedules let tests check. It panics on an out-of-range or
+// degenerate pair.
+func (r *Runner[S]) RunPairs(pairs [][2]int) {
+	n := len(r.states)
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if a == b || a < 0 || b < 0 || a >= n || b >= n {
+			panic(fmt.Sprintf("sim: invalid scheduled pair (%d, %d) for n=%d", a, b, n))
+		}
+		r.proto.Transition(&r.states[a], &r.states[b])
+		r.steps++
+	}
+}
+
+// AllOrderedPairs returns every ordered pair of distinct indices below
+// n — the exhaustive one-round schedule used by closure tests.
+func AllOrderedPairs(n int) [][2]int {
+	out := make([][2]int, 0, n*(n-1))
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Observe executes interactions until stop returns true or maxSteps is
+// reached, invoking obs every `every` interactions (and once at step 0,
+// and once at the final step). It is the engine behind the paper's
+// time-series figures. A nil stop runs to maxSteps.
+func (r *Runner[S]) Observe(obs func(steps int64, states []S), every, maxSteps int64, stop func(states []S) bool) int64 {
+	if every < 1 {
+		every = int64(len(r.states))
+	}
+	obs(r.steps, r.states)
+	for r.steps < maxSteps {
+		chunk := every
+		if remaining := maxSteps - r.steps; chunk > remaining {
+			chunk = remaining
+		}
+		r.Run(chunk)
+		obs(r.steps, r.states)
+		if stop != nil && stop(r.states) {
+			break
+		}
+	}
+	return r.steps
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"ssrank/internal/rng"
+)
+
+// counter is a trivial protocol: both agents increment on interaction.
+type counter struct{}
+
+func (counter) Transition(u, v *int) { *u++; *v++ }
+
+// adopt is a one-way epidemic over booleans: the responder adopts the
+// initiator's true value.
+type adopt struct{}
+
+func (adopt) Transition(u, v *bool) {
+	if *u {
+		*v = true
+	}
+}
+
+func TestStepCountsInteractions(t *testing.T) {
+	r := New[int](counter{}, make([]int, 4), 1)
+	r.Step()
+	r.Run(9)
+	if r.Steps() != 10 {
+		t.Fatalf("Steps() = %d, want 10", r.Steps())
+	}
+	sum := 0
+	for _, v := range r.States() {
+		sum += v
+	}
+	if sum != 20 {
+		t.Fatalf("total increments = %d, want 20 (two per interaction)", sum)
+	}
+}
+
+func TestNewPanicsOnTinyPopulation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with 1 agent did not panic")
+		}
+	}()
+	New[int](counter{}, make([]int, 1), 1)
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		r := New[int](counter{}, make([]int, 8), 42)
+		r.Run(1000)
+		return r.Snapshot()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("agent %d differs across identical runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	r := New[int](counter{}, make([]int, 4), 1)
+	snap := r.Snapshot()
+	r.Run(100)
+	for _, v := range snap {
+		if v != 0 {
+			t.Fatal("snapshot mutated by subsequent run")
+		}
+	}
+}
+
+func TestRunUntilImmediate(t *testing.T) {
+	r := New[int](counter{}, make([]int, 4), 1)
+	steps, err := r.RunUntil(func([]int) bool { return true }, 0, 100)
+	if err != nil || steps != 0 {
+		t.Fatalf("RunUntil on satisfied condition: steps=%d err=%v", steps, err)
+	}
+}
+
+func TestRunUntilBudget(t *testing.T) {
+	r := New[int](counter{}, make([]int, 4), 1)
+	steps, err := r.RunUntil(func([]int) bool { return false }, 7, 100)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if steps != 100 {
+		t.Fatalf("steps = %d, want exactly the budget 100", steps)
+	}
+}
+
+func TestRunUntilEpidemic(t *testing.T) {
+	states := make([]bool, 64)
+	states[0] = true
+	r := New[bool](adopt{}, states, 3)
+	all := func(ss []bool) bool {
+		for _, s := range ss {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	steps, err := r.RunUntil(all, 0, 1_000_000)
+	if err != nil {
+		t.Fatalf("epidemic did not complete: %v", err)
+	}
+	if steps == 0 {
+		t.Fatal("epidemic completed in zero steps")
+	}
+}
+
+func TestObserveCadence(t *testing.T) {
+	r := New[int](counter{}, make([]int, 4), 1)
+	var at []int64
+	r.Observe(func(steps int64, _ []int) { at = append(at, steps) }, 10, 35, nil)
+	want := []int64{0, 10, 20, 30, 35}
+	if len(at) != len(want) {
+		t.Fatalf("observations at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("observations at %v, want %v", at, want)
+		}
+	}
+}
+
+func TestObserveStops(t *testing.T) {
+	r := New[int](counter{}, make([]int, 4), 1)
+	steps := r.Observe(func(int64, []int) {}, 5, 1000, func(ss []int) bool {
+		return ss[0]+ss[1]+ss[2]+ss[3] >= 20
+	})
+	if steps >= 1000 {
+		t.Fatalf("Observe ran to budget (%d) despite stop condition", steps)
+	}
+}
+
+func TestSetState(t *testing.T) {
+	r := New[int](counter{}, make([]int, 4), 1)
+	r.SetState(2, 99)
+	if r.States()[2] != 99 {
+		t.Fatal("SetState did not apply")
+	}
+}
+
+func TestTrialsDeterministicAndOrdered(t *testing.T) {
+	run := func(trial int, r *rng.RNG) TrialResult {
+		return TrialResult{Steps: int64(trial), Converged: true, Aux: r.Float64()}
+	}
+	a := Trials(16, 7, run)
+	b := Trials(16, 7, run)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Steps != int64(i) {
+			t.Fatalf("trial %d result out of order: %+v", i, a[i])
+		}
+	}
+	// Distinct trials must see distinct RNG streams.
+	if a[0].Aux == a[1].Aux {
+		t.Fatal("trials 0 and 1 received identical RNG streams")
+	}
+}
+
+func TestTrialsHelpers(t *testing.T) {
+	rs := []TrialResult{{Steps: 2, Converged: true}, {Steps: 4, Converged: false}}
+	if got := StepsOf(rs); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("StepsOf = %v", got)
+	}
+	if AllConverged(rs) {
+		t.Fatal("AllConverged true with a failed trial")
+	}
+	if f := ConvergedFraction(rs); f != 0.5 {
+		t.Fatalf("ConvergedFraction = %v, want 0.5", f)
+	}
+	if f := ConvergedFraction(nil); f != 0 {
+		t.Fatalf("ConvergedFraction(nil) = %v, want 0", f)
+	}
+	if !AllConverged(nil) {
+		t.Fatal("AllConverged(nil) should be vacuously true")
+	}
+}
+
+func BenchmarkEngineStep(b *testing.B) {
+	r := New[int](counter{}, make([]int, 1024), 1)
+	b.ResetTimer()
+	r.Run(int64(b.N))
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"ssrank/internal/rng"
+)
+
+// TrialResult records the outcome of one independent simulation run.
+type TrialResult struct {
+	// Steps is the number of interactions the run took (or the budget if
+	// it did not converge).
+	Steps int64
+	// Converged reports whether the stop condition held in budget.
+	Converged bool
+	// Aux carries an optional protocol-specific scalar (e.g. number of
+	// resets observed) so experiments do not need custom result types.
+	Aux float64
+}
+
+// Trials runs `trials` independent simulations, each driven by its own
+// deterministic RNG derived from seed, and returns the results in trial
+// order. Runs execute in parallel across GOMAXPROCS goroutines; results
+// are nevertheless deterministic because each trial's generator depends
+// only on (seed, trial index).
+func Trials(trials int, seed uint64, run func(trial int, r *rng.RNG) TrialResult) []TrialResult {
+	results := make([]TrialResult, trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				// Derive a per-trial generator from (seed, i) only.
+				results[i] = run(i, rng.New(seed^(0x9e3779b97f4a7c15*uint64(i+1))))
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// StepsOf extracts the Steps field of each result, in order.
+func StepsOf(rs []TrialResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = float64(r.Steps)
+	}
+	return out
+}
+
+// AllConverged reports whether every trial converged.
+func AllConverged(rs []TrialResult) bool {
+	for _, r := range rs {
+		if !r.Converged {
+			return false
+		}
+	}
+	return true
+}
+
+// ConvergedFraction returns the fraction of trials that converged.
+func ConvergedFraction(rs []TrialResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	c := 0
+	for _, r := range rs {
+		if r.Converged {
+			c++
+		}
+	}
+	return float64(c) / float64(len(rs))
+}

@@ -1,0 +1,82 @@
+package stable
+
+import (
+	"testing"
+
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+)
+
+// TestClosureUnderEverySchedule verifies the closure property against
+// an adversarial scheduler: in a legal configuration, applying EVERY
+// ordered pair (not just random ones) changes nothing. The uniform
+// scheduler only matters for the time bound; closure is schedule-free.
+func TestClosureUnderEverySchedule(t *testing.T) {
+	const n = 64
+	p := New(n, DefaultParams())
+	perm := rng.New(5).Perm(n)
+	states := make([]State, n)
+	for i, rk := range perm {
+		states[i] = Ranked(int32(rk + 1))
+	}
+	r := sim.New[State](p, states, 1)
+	for round := 0; round < 3; round++ {
+		r.RunPairs(sim.AllOrderedPairs(n))
+	}
+	for i, s := range r.States() {
+		if s != Ranked(int32(perm[i]+1)) {
+			t.Fatalf("agent %d changed under exhaustive schedule: %v", i, s)
+		}
+	}
+	if p.Resets() != 0 {
+		t.Fatalf("%d resets under exhaustive schedule of a legal config", p.Resets())
+	}
+}
+
+// TestNonLegalConfigsMoveUnderSomeSchedule is the complement: any
+// all-ranked configuration with a duplicate must change under the
+// exhaustive schedule (the duplicate pair is part of it).
+func TestNonLegalConfigsMoveUnderSomeSchedule(t *testing.T) {
+	const n = 16
+	p := New(n, DefaultParams())
+	states := make([]State, n)
+	for i := range states {
+		states[i] = Ranked(int32(i + 1))
+	}
+	states[3] = Ranked(9) // duplicate of agent 8's rank
+	r := sim.New[State](p, states, 1)
+	r.RunPairs(sim.AllOrderedPairs(n))
+	if p.Resets() == 0 {
+		t.Fatal("duplicate rank not detected by the exhaustive schedule")
+	}
+}
+
+func TestRunPairsPanicsOnBadPair(t *testing.T) {
+	p := New(4, DefaultParams())
+	r := sim.New[State](p, p.InitialStates(), 1)
+	for _, bad := range [][2]int{{0, 0}, {-1, 2}, {0, 4}} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("pair %v accepted", bad)
+				}
+			}()
+			r.RunPairs([][2]int{bad})
+		}()
+	}
+}
+
+func TestAllOrderedPairsComplete(t *testing.T) {
+	pairs := sim.AllOrderedPairs(5)
+	if len(pairs) != 20 {
+		t.Fatalf("got %d pairs, want 20", len(pairs))
+	}
+	seen := map[[2]int]bool{}
+	for _, pr := range pairs {
+		if pr[0] == pr[1] || seen[pr] {
+			t.Fatalf("bad or duplicate pair %v", pr)
+		}
+		seen[pr] = true
+	}
+}

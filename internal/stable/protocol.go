@@ -1,0 +1,255 @@
+package stable
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/core"
+	"ssrank/internal/leaderelect"
+)
+
+// Params are the tunable constants of StableRanking. All counters scale
+// with log₂ n, as in the paper's state space (Protocol 3).
+type Params struct {
+	// CWait is c_wait: waitCount starts at ⌈CWait·log₂ n⌉. The paper's
+	// simulations use 2.
+	CWait float64
+	// CLive is c_live: L_max = ⌈CLive·log₂ n⌉ bounds both the liveness
+	// counter of Ranking+ and the interaction budget of
+	// FastLeaderElection. The paper's simulations use 4.
+	CLive float64
+	// RMaxFactor scales R_max = ⌈RMaxFactor·log₂ n⌉, the reset-epidemic
+	// hop budget of PropagateReset.
+	RMaxFactor float64
+	// DMaxFactor scales D_max = ⌈DMaxFactor·log₂ n⌉, the dormancy
+	// duration of PropagateReset. The paper fixes D_max = c_live·log₂ n.
+	DMaxFactor float64
+	// LEBudgetFactor scales FastLeaderElection's interaction budget:
+	// LECount starts at ⌈LEBudgetFactor·log₂ n⌉. The paper uses L_max
+	// for this too, with the proviso that the constant is "large
+	// enough" (Lemma 32 wants > 100γ·log n); a budget of only
+	// c_live·log₂ n loses races against the start-of-ranking epidemic
+	// and causes spurious le-expired resets, so the default is 8.
+	LEBudgetFactor float64
+	// PaperLiteralProductive switches the unaware-leader test of
+	// Ranking+ line 13 to the paper-literal ⌊n·2^{−phase}⌋ bound instead
+	// of the exact f_k − f_{k+1} (DESIGN.md note 2). Ablation E8 uses
+	// it; the default (false) is the exact form.
+	PaperLiteralProductive bool
+}
+
+// DefaultParams mirror the constants of the paper's simulations (§VI):
+// c_wait = 2 and c_live = D_max/log₂ n = 4.
+func DefaultParams() Params {
+	return Params{CWait: 2, CLive: 4, RMaxFactor: 4, DMaxFactor: 4, LEBudgetFactor: 8}
+}
+
+// Protocol is the self-stabilizing protocol StableRanking (Protocol 3).
+//
+// A Protocol instance counts the resets it triggers (see Resets), so it
+// must not be shared between concurrently executing runners; construct
+// one per trial (construction is cheap).
+type Protocol struct {
+	n        int
+	phases   core.Phases
+	waitInit int32 // ⌈c_wait·log₂ n⌉
+	lMax     int32 // ⌈c_live·log₂ n⌉
+	leBudget int32 // FastLeaderElection interaction budget
+	rMax     int32
+	dMax     int32
+	coinInit int32 // ⌈log₂ n⌉ heads required by FastLeaderElection
+	literal  bool
+
+	resets         int64
+	resetsByReason [numResetReasons]int64
+}
+
+// ResetReason classifies why a reset was triggered; the protocol keeps
+// per-reason counters for diagnostics and experiments.
+type ResetReason uint8
+
+const (
+	// ReasonDuplicateRank: two agents with equal ranks met
+	// (Protocol 4 line 1).
+	ReasonDuplicateRank ResetReason = iota
+	// ReasonTwoWaiting: two waiting agents met (Protocol 4 line 2).
+	ReasonTwoWaiting
+	// ReasonAliveExpired: a liveness counter reached zero
+	// (Protocol 4 lines 5–11).
+	ReasonAliveExpired
+	// ReasonLEExpired: an agent's FastLeaderElection budget ran out
+	// (Protocol 5 lines 13–15).
+	ReasonLEExpired
+	// ReasonExternal: a reset triggered from outside the protocol
+	// (fault injection, tests).
+	ReasonExternal
+
+	numResetReasons
+)
+
+// String implements fmt.Stringer.
+func (r ResetReason) String() string {
+	switch r {
+	case ReasonDuplicateRank:
+		return "duplicate-rank"
+	case ReasonTwoWaiting:
+		return "two-waiting"
+	case ReasonAliveExpired:
+		return "alive-expired"
+	case ReasonLEExpired:
+		return "le-expired"
+	case ReasonExternal:
+		return "external"
+	default:
+		return fmt.Sprintf("ResetReason(%d)", uint8(r))
+	}
+}
+
+// New builds the protocol for n ≥ 2 agents.
+func New(n int, params Params) *Protocol {
+	if n < 2 {
+		panic(fmt.Sprintf("stable: n must be >= 2, got %d", n))
+	}
+	if params.CWait <= 0 || params.CLive <= 0 || params.RMaxFactor <= 0 ||
+		params.DMaxFactor <= 0 || params.LEBudgetFactor <= 0 {
+		panic(fmt.Sprintf("stable: all parameter factors must be positive: %+v", params))
+	}
+	lg := float64(leaderelect.CeilLog2(n))
+	ceil := func(f float64) int32 {
+		v := int32(math.Ceil(f))
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return &Protocol{
+		n:        n,
+		phases:   core.NewPhases(n),
+		waitInit: ceil(params.CWait * lg),
+		lMax:     ceil(params.CLive * lg),
+		leBudget: ceil(params.LEBudgetFactor * lg),
+		rMax:     ceil(params.RMaxFactor * lg),
+		dMax:     ceil(params.DMaxFactor * lg),
+		coinInit: ceil(lg),
+		literal:  params.PaperLiteralProductive,
+	}
+}
+
+// N returns the population size.
+func (p *Protocol) N() int { return p.n }
+
+// Phases exposes the phase geometry.
+func (p *Protocol) Phases() core.Phases { return p.phases }
+
+// WaitInit returns ⌈c_wait·log₂ n⌉.
+func (p *Protocol) WaitInit() int32 { return p.waitInit }
+
+// LMax returns ⌈c_live·log₂ n⌉.
+func (p *Protocol) LMax() int32 { return p.lMax }
+
+// LEBudget returns FastLeaderElection's initial interaction budget.
+func (p *Protocol) LEBudget() int32 { return p.leBudget }
+
+// RMax returns the reset-epidemic hop budget.
+func (p *Protocol) RMax() int32 { return p.rMax }
+
+// DMax returns the dormancy duration.
+func (p *Protocol) DMax() int32 { return p.dMax }
+
+// CoinInit returns ⌈log₂ n⌉, the consecutive heads FastLeaderElection
+// requires.
+func (p *Protocol) CoinInit() int32 { return p.coinInit }
+
+// Resets returns the number of resets this instance has triggered.
+func (p *Protocol) Resets() int64 { return p.resets }
+
+// ResetsFor returns the number of resets triggered for the given
+// reason.
+func (p *Protocol) ResetsFor(reason ResetReason) int64 {
+	if reason >= numResetReasons {
+		return 0
+	}
+	return p.resetsByReason[reason]
+}
+
+// ResetBreakdown returns a human-readable reason → count map of all
+// resets triggered so far.
+func (p *Protocol) ResetBreakdown() map[string]int64 {
+	out := make(map[string]int64, int(numResetReasons))
+	for r := ResetReason(0); r < numResetReasons; r++ {
+		if c := p.resetsByReason[r]; c > 0 {
+			out[r.String()] = c
+		}
+	}
+	return out
+}
+
+// LEInitial returns the FastLeaderElection start state q_{0,coin}
+// (Appendix C), preserving the given coin value.
+func (p *Protocol) LEInitial(coin uint8) State {
+	return State{
+		Mode:      ModeLE,
+		Coin:      coin,
+		LECount:   p.leBudget,
+		CoinCount: p.coinInit,
+	}
+}
+
+// InitialStates returns the canonical fresh start: every agent in the
+// FastLeaderElection initial state with index-parity coins. Being
+// self-stabilizing, the protocol converges from *any* configuration;
+// this is merely the natural one (and the one C_LE describes).
+func (p *Protocol) InitialStates() []State {
+	states := make([]State, p.n)
+	for i := range states {
+		states[i] = p.LEInitial(uint8(i & 1))
+	}
+	return states
+}
+
+// TriggerReset puts s into the triggered PropagateReset state: all
+// variables except the coin are forgotten, and the coin is initialized
+// to 0 if the agent had none (§V-A). It is exported for fault-injection
+// experiments; the protocol's own rules use triggerReset with a
+// specific reason.
+func (p *Protocol) TriggerReset(s *State) { p.triggerReset(s, ReasonExternal) }
+
+func (p *Protocol) triggerReset(s *State, reason ResetReason) {
+	coin := uint8(0)
+	if s.HasCoin() {
+		coin = s.Coin
+	}
+	*s = State{Mode: ModeReset, Coin: coin, ResetCount: p.rMax, DelayCount: p.dMax}
+	p.resets++
+	p.resetsByReason[reason]++
+}
+
+// Transition implements the dispatcher of Protocol 3 with initiator u
+// and responder v.
+func (p *Protocol) Transition(u, v *State) {
+	switch {
+	// Line 1: PropagateReset, when either agent participates in it.
+	case u.Mode == ModeReset || v.Mode == ModeReset:
+		p.propagateReset(u, v)
+
+	// Lines 2–3: two leader-electing agents.
+	case u.Mode == ModeLE && v.Mode == ModeLE:
+		p.fastLE(u, v)
+
+	// Lines 4–6: a leader-electing agent meeting a main-protocol agent
+	// forgets its LE state and joins as a phase-1 agent.
+	case u.Mode == ModeLE && v.IsMain():
+		*u = State{Mode: ModePhase, Coin: u.Coin, Phase: 1, Alive: p.lMax}
+	case v.Mode == ModeLE && u.IsMain():
+		*v = State{Mode: ModePhase, Coin: v.Coin, Phase: 1, Alive: p.lMax}
+
+	// Lines 7–8: both agents execute the main protocol.
+	case u.IsMain() && v.IsMain():
+		p.rankingPlus(u, v)
+	}
+
+	// Lines 9–10: the responder's coin is toggled if it has one.
+	if v.HasCoin() {
+		v.Coin ^= 1
+	}
+}

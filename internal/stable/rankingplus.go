@@ -1,0 +1,144 @@
+package stable
+
+// rankingPlus implements Ranking+ (Protocol 4) for an interaction of
+// two main-protocol agents (initiator u, responder v). It extends the
+// base protocol Ranking (Protocol 2, reimplemented over stable.State in
+// baseRanking) with error detection and liveness checking; detected
+// errors trigger PropagateReset.
+func (p *Protocol) rankingPlus(u, v *State) {
+	// Lines 1–4, error detection: duplicate ranks or two waiting agents.
+	if u.Mode == ModeRanked && v.Mode == ModeRanked && u.Rank == v.Rank {
+		p.triggerReset(u, ReasonDuplicateRank)
+		return
+	}
+	if u.Mode == ModeWait && v.Mode == ModeWait {
+		p.triggerReset(u, ReasonTwoWaiting)
+		return
+	}
+
+	// Lines 5–11, liveness checking.
+	if u.IsUnrankedMain() && v.IsUnrankedMain() {
+		// Lines 5–6: both check liveness — adopt the maximum minus one.
+		m := u.Alive
+		if v.Alive > m {
+			m = v.Alive
+		}
+		m--
+		if m <= 0 {
+			// The counter hit zero (DESIGN.md note 4). Both witnesses
+			// reset: aliveCount = 0 is outside the declared state
+			// space {1..Lmax}, so neither agent may keep it.
+			p.triggerReset(u, ReasonAliveExpired)
+			p.triggerReset(v, ReasonAliveExpired)
+			return
+		}
+		u.Alive, v.Alive = m, m
+	}
+	if u.Mode == ModeRanked && u.Rank >= int32(p.n)-1 && v.IsUnrankedMain() {
+		// Lines 7–11: meeting an agent ranked n−1 or n drains the
+		// responder's counter; expiry triggers a reset — on both
+		// agents, as above (the paper's pseudocode resets u; v's
+		// counter would otherwise sit at 0, outside its domain).
+		if v.Alive <= 1 {
+			p.triggerReset(u, ReasonAliveExpired)
+			p.triggerReset(v, ReasonAliveExpired)
+			return
+		}
+		v.Alive--
+	}
+
+	if !v.IsUnrankedMain() {
+		// v carries no coin (it is ranked); neither the liveness-refresh
+		// branch nor the base protocol applies (Protocol 2 line 1 would
+		// return immediately as well).
+		return
+	}
+
+	if v.Coin == 0 {
+		// Lines 12–14: v's coin shows tails — refresh its liveness
+		// counter if the pair could have made progress (a "productive
+		// pair"): u is waiting, or u is the unaware leader for v's
+		// phase.
+		if u.Mode == ModeWait || p.isUnawareLeaderFor(u, v) {
+			v.Alive = p.lMax
+		}
+		return
+	}
+
+	// Lines 15–18: v's coin shows heads — execute the base protocol.
+	if p.baseRanking(u, v) {
+		// Line 17–18: u became waiting — it regains a coin and a full
+		// liveness counter.
+		u.Coin = 0
+		u.Alive = p.lMax
+	}
+}
+
+// isUnawareLeaderFor reports the productive-pair condition of Protocol 4
+// line 13: u is ranked, v is a phase agent, and u's rank lies in the
+// leader range for v's phase. The default uses the exact width
+// f_k − f_{k+1}; Params.PaperLiteralProductive selects the paper-literal
+// ⌊n·2^{−phase(v)}⌋ (DESIGN.md note 2).
+func (p *Protocol) isUnawareLeaderFor(u, v *State) bool {
+	if u.Mode != ModeRanked || v.Mode != ModePhase {
+		return false
+	}
+	if p.literal {
+		bound := int32(p.n) >> uint(v.Phase)
+		return u.Rank >= 1 && u.Rank <= bound
+	}
+	return u.Rank >= 1 && u.Rank <= p.phases.Width(v.Phase)
+}
+
+// baseRanking reimplements Ranking (Protocol 2) over stable.State,
+// including the bookkeeping Ranking+ needs: agents becoming ranked drop
+// their coin and liveness counter; the leader entering waiting is
+// reported to the caller (Protocol 4 line 17).
+//
+// The transition logic mirrors core.(*Protocol).Ranking exactly; the
+// equivalence is checked by a cross-validation property test.
+func (p *Protocol) baseRanking(u, v *State) (uBecameWaiting bool) {
+	// Line 1: if v is not a phase agent, do nothing.
+	if v.Mode != ModePhase {
+		return false
+	}
+	switch u.Mode {
+	case ModeRanked:
+		k := v.Phase
+		width := p.phases.Width(k)
+		switch {
+		case u.Rank >= 1 && u.Rank <= width:
+			// u is the unaware leader: assign the next rank of phase k.
+			*v = Ranked(p.phases.F(k+1) + u.Rank)
+			if u.Rank < width {
+				u.Rank++
+			} else if k < p.phases.KMax() {
+				// End of a non-final phase: forget the rank, wait out
+				// the phase transition.
+				*u = State{Mode: ModeWait, Coin: 0, Wait: p.waitInit, Alive: 0}
+				return true
+			}
+		case u.Rank == p.phases.F(k):
+			// u holds the last rank of v's phase: v advances
+			// (saturating at ⌈log₂ n⌉, DESIGN.md note 3).
+			if k < p.phases.KMax() {
+				v.Phase = k + 1
+			}
+		}
+	case ModePhase:
+		// Two phase agents adopt the more advanced phase.
+		if u.Phase > v.Phase {
+			v.Phase = u.Phase
+		} else {
+			u.Phase = v.Phase
+		}
+	case ModeWait:
+		// The waiting agent counts down against phase agents and
+		// ultimately re-enters with rank 1.
+		u.Wait--
+		if u.Wait <= 0 {
+			*u = Ranked(1)
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+// Package trace records time series of configuration-level metrics
+// during a run — the machinery behind the paper's Fig. 2-style plots
+// and the cmd/ssrank -trace flag.
+//
+// A Recorder is generic over the protocol state type; the caller
+// registers named probes (functions from configuration to float64) and
+// samples them on a fixed interaction cadence via the engine's
+// Observe hook.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Probe measures one scalar of a configuration.
+type Probe[S any] struct {
+	// Name labels the CSV column.
+	Name string
+	// Fn computes the metric.
+	Fn func(states []S) float64
+}
+
+// Recorder accumulates probe samples.
+type Recorder[S any] struct {
+	probes  []Probe[S]
+	steps   []int64
+	samples [][]float64 // samples[i][j] = probe j at sample i
+}
+
+// NewRecorder returns a recorder over the given probes. It panics on
+// an empty or duplicate-named probe set.
+func NewRecorder[S any](probes ...Probe[S]) *Recorder[S] {
+	if len(probes) == 0 {
+		panic("trace: need at least one probe")
+	}
+	seen := map[string]bool{}
+	for _, p := range probes {
+		if p.Name == "" || p.Fn == nil {
+			panic("trace: probe needs a name and a function")
+		}
+		if seen[p.Name] {
+			panic(fmt.Sprintf("trace: duplicate probe %q", p.Name))
+		}
+		seen[p.Name] = true
+	}
+	return &Recorder[S]{probes: probes}
+}
+
+// Observe samples every probe; pass it to sim.Runner.Observe.
+func (r *Recorder[S]) Observe(steps int64, states []S) {
+	row := make([]float64, len(r.probes))
+	for j, p := range r.probes {
+		row[j] = p.Fn(states)
+	}
+	r.steps = append(r.steps, steps)
+	r.samples = append(r.samples, row)
+}
+
+// Len returns the number of samples taken.
+func (r *Recorder[S]) Len() int { return len(r.steps) }
+
+// Steps returns the interaction count of sample i.
+func (r *Recorder[S]) Steps(i int) int64 { return r.steps[i] }
+
+// Value returns probe j's value at sample i.
+func (r *Recorder[S]) Value(i, j int) float64 { return r.samples[i][j] }
+
+// Series extracts one probe's full series by name. The second return
+// is false if no probe has that name.
+func (r *Recorder[S]) Series(name string) ([]float64, bool) {
+	for j, p := range r.probes {
+		if p.Name == name {
+			out := make([]float64, len(r.samples))
+			for i := range r.samples {
+				out[i] = r.samples[i][j]
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// CSV renders the recording with an `interactions` column first.
+func (r *Recorder[S]) CSV() string {
+	var b strings.Builder
+	b.WriteString("interactions")
+	for _, p := range r.probes {
+		b.WriteByte(',')
+		b.WriteString(p.Name)
+	}
+	b.WriteByte('\n')
+	for i, row := range r.samples {
+		fmt.Fprintf(&b, "%d", r.steps[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

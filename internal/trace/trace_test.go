@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+)
+
+func TestRecorderCollectsSeries(t *testing.T) {
+	rec := NewRecorder[int](
+		Probe[int]{Name: "sum", Fn: func(ss []int) float64 {
+			s := 0
+			for _, v := range ss {
+				s += v
+			}
+			return float64(s)
+		}},
+		Probe[int]{Name: "first", Fn: func(ss []int) float64 { return float64(ss[0]) }},
+	)
+	rec.Observe(0, []int{1, 2})
+	rec.Observe(10, []int{3, 4})
+	if rec.Len() != 2 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+	if rec.Steps(1) != 10 || rec.Value(1, 0) != 7 || rec.Value(0, 1) != 1 {
+		t.Fatalf("samples wrong: %v %v", rec.Value(1, 0), rec.Value(0, 1))
+	}
+	sum, ok := rec.Series("sum")
+	if !ok || len(sum) != 2 || sum[0] != 3 || sum[1] != 7 {
+		t.Fatalf("Series(sum) = %v, %t", sum, ok)
+	}
+	if _, ok := rec.Series("nope"); ok {
+		t.Fatal("unknown series found")
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	rec := NewRecorder[int](Probe[int]{Name: "x", Fn: func(ss []int) float64 { return 1.5 }})
+	rec.Observe(0, []int{0})
+	rec.Observe(5, []int{0})
+	want := "interactions,x\n0,1.5\n5,1.5\n"
+	if got := rec.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestRecorderPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRecorder[int]() },
+		func() { NewRecorder[int](Probe[int]{Name: ""}) },
+		func() {
+			p := Probe[int]{Name: "a", Fn: func([]int) float64 { return 0 }}
+			NewRecorder[int](p, p)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRecorderWithEngine(t *testing.T) {
+	// End to end: trace a StableRanking run's ranked count; the series
+	// must be non-decreasing between resets and end at n.
+	const n = 48
+	p := stable.New(n, stable.DefaultParams())
+	r := sim.New[stable.State](p, p.InitialStates(), 3)
+	rec := NewRecorder[stable.State](
+		Probe[stable.State]{Name: "ranked", Fn: func(ss []stable.State) float64 {
+			return float64(stable.RankedCount(ss))
+		}},
+	)
+	r.Observe(rec.Observe, int64(n), int64(5000*n*n), func(ss []stable.State) bool {
+		return stable.Valid(ss)
+	})
+	if rec.Len() < 2 {
+		t.Fatal("too few samples")
+	}
+	series, _ := rec.Series("ranked")
+	if series[len(series)-1] != n {
+		t.Fatalf("final ranked = %v, want %d", series[len(series)-1], n)
+	}
+	if !strings.HasPrefix(rec.CSV(), "interactions,ranked\n") {
+		t.Fatal("CSV header wrong")
+	}
+}

@@ -1,0 +1,381 @@
+// Package ssrank is a Go implementation of silent self-stabilizing
+// ranking for population protocols, reproducing Berenbrink, Elsässer,
+// Götte, Hintze and Kaaser, "Silent Self-Stabilizing Ranking: Time
+// Optimal and Space Efficient" (ICDCS 2025, arXiv:2504.10417).
+//
+// n anonymous agents interact in uniformly random pairs; the protocols
+// assign every agent a unique rank in {1..n}. The flagship protocol
+// StableRanking self-stabilizes from any initial configuration in
+// O(n² log n) interactions w.h.p. using n + O(log² n) states, and
+// yields self-stabilizing leader election by declaring the rank-1
+// agent the leader.
+//
+// This package is the stable public facade: Run executes any of the
+// implemented protocols to completion, and Simulation offers stepwise
+// control (inspection, fault injection) of the self-stabilizing
+// protocol. The full machinery — engine, substrates, baselines,
+// experiment harness — lives under internal/; see DESIGN.md.
+package ssrank
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ssrank/internal/baseline/aware"
+	"ssrank/internal/baseline/cai"
+	"ssrank/internal/baseline/interval"
+	"ssrank/internal/core"
+	"ssrank/internal/faults"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/stable"
+)
+
+// Protocol selects a ranking protocol.
+type Protocol string
+
+const (
+	// StableRanking is the paper's self-stabilizing protocol
+	// (Theorem 2): n + O(log² n) states, O(n² log n) interactions
+	// w.h.p., silent.
+	StableRanking Protocol = "stable"
+	// SpaceEfficient is the paper's non-self-stabilizing protocol
+	// (Theorem 1): n + Θ(log n) states, O(n² log n) interactions
+	// w.h.p.; correct w.h.p. only.
+	SpaceEfficient Protocol = "space-efficient"
+	// Cai is the n-state self-stabilizing baseline (Cai–Izumi–Wada):
+	// zero overhead states, Θ(n³) expected interactions.
+	Cai Protocol = "cai"
+	// Aware is the aware-leader baseline in the style of Burman et
+	// al.: n + Ω(n) states, O(n² log n) interactions.
+	Aware Protocol = "aware"
+	// Interval is the relaxed-range baseline (Gąsieniec et al.): ranks
+	// from [1, (1+ε)n], O(n log n/ε) interactions, not
+	// self-stabilizing.
+	Interval Protocol = "interval"
+)
+
+// Protocols lists every selectable protocol.
+func Protocols() []Protocol {
+	return []Protocol{StableRanking, SpaceEfficient, Cai, Aware, Interval}
+}
+
+// Init selects the initial configuration for protocols that support
+// several (currently StableRanking).
+type Init string
+
+const (
+	// InitFresh starts every agent in the leader-election start state.
+	InitFresh Init = "fresh"
+	// InitWorstCase is the paper's Fig. 2 adversarial initialization.
+	InitWorstCase Init = "worst-case"
+	// InitRandom draws an arbitrary configuration uniformly from the
+	// state space.
+	InitRandom Init = "random"
+	// InitFig3 is the paper's Fig. 3 initialization (one unaware
+	// leader, everyone else decided in leader election).
+	InitFig3 Init = "fig3"
+)
+
+// Config parameterizes Run.
+type Config struct {
+	// N is the population size (≥ 2). Required.
+	N int
+	// Protocol selects the algorithm; default StableRanking.
+	Protocol Protocol
+	// Seed drives the scheduler; runs are deterministic in (Config).
+	Seed uint64
+	// Init selects the initial configuration (StableRanking only);
+	// default InitFresh.
+	Init Init
+	// MaxInteractions caps the run; 0 means a generous default of
+	// 3000·n²·log₂ n (several times the expected stabilization time).
+	MaxInteractions int64
+	// Epsilon is the range slack for Interval (default 1.0).
+	Epsilon float64
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Ranks holds each agent's final rank (1-based). For Interval the
+	// ranks live in [1, (1+ε)n].
+	Ranks []int
+	// Interactions is the number of pairwise interactions executed.
+	Interactions int64
+	// Converged reports whether a valid silent ranking was reached
+	// within the budget.
+	Converged bool
+	// Leader is the index of the rank-1 agent (-1 if none) — the
+	// elected leader under the paper's output function.
+	Leader int
+	// Resets counts the self-healing resets (self-stabilizing
+	// protocols only).
+	Resets int64
+	// ResetBreakdown classifies the resets by cause (StableRanking
+	// only).
+	ResetBreakdown map[string]int64
+}
+
+// ErrNotConverged is wrapped into Run's error when the budget is
+// exhausted first. The partial Result is still returned.
+var ErrNotConverged = errors.New("ssrank: ranking did not converge within the interaction budget")
+
+// Run executes the configured protocol until it reaches a valid silent
+// ranking (or the budget runs out).
+func Run(cfg Config) (Result, error) {
+	if cfg.N < 2 {
+		return Result{}, fmt.Errorf("ssrank: N must be >= 2, got %d", cfg.N)
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = StableRanking
+	}
+	if cfg.Init == "" {
+		cfg.Init = InitFresh
+	}
+	if cfg.MaxInteractions == 0 {
+		cfg.MaxInteractions = defaultBudget(cfg.N, cfg.Protocol)
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1.0
+	}
+
+	switch cfg.Protocol {
+	case StableRanking:
+		return runStable(cfg)
+	case SpaceEfficient:
+		return runCore(cfg)
+	case Cai:
+		return runCai(cfg)
+	case Aware:
+		return runAware(cfg)
+	case Interval:
+		return runInterval(cfg)
+	default:
+		return Result{}, fmt.Errorf("ssrank: unknown protocol %q", cfg.Protocol)
+	}
+}
+
+func defaultBudget(n int, p Protocol) int64 {
+	lg := math.Log2(float64(n))
+	switch p {
+	case Cai:
+		return int64(2000 * float64(n) * float64(n) * float64(n))
+	case Interval:
+		return int64(5000 * float64(n) * float64(n))
+	default:
+		return int64(3000 * float64(n) * float64(n) * lg)
+	}
+}
+
+func runStable(cfg Config) (Result, error) {
+	p := stable.New(cfg.N, stable.DefaultParams())
+	var init []stable.State
+	switch cfg.Init {
+	case InitFresh:
+		init = p.InitialStates()
+	case InitWorstCase:
+		init = p.WorstCaseInit()
+	case InitRandom:
+		init = p.RandomConfig(rng.New(cfg.Seed ^ 0xc0ffee))
+	case InitFig3:
+		init = p.Fig3Init()
+	default:
+		return Result{}, fmt.Errorf("ssrank: unknown init %q", cfg.Init)
+	}
+	r := sim.New[stable.State](p, init, cfg.Seed)
+	_, err := r.RunUntil(stable.Valid, 0, cfg.MaxInteractions)
+	res := Result{
+		Ranks:          stableRanks(r.States()),
+		Interactions:   r.Steps(),
+		Converged:      err == nil,
+		Leader:         stable.LeaderRank1(r.States()),
+		Resets:         p.Resets(),
+		ResetBreakdown: p.ResetBreakdown(),
+	}
+	if err != nil {
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+	}
+	return res, nil
+}
+
+func stableRanks(states []stable.State) []int {
+	out := make([]int, len(states))
+	for i, s := range states {
+		if s.Mode == stable.ModeRanked {
+			out[i] = int(s.Rank)
+		}
+	}
+	return out
+}
+
+func runCore(cfg Config) (Result, error) {
+	if cfg.Init != InitFresh {
+		return Result{}, fmt.Errorf("ssrank: protocol %q supports only the fresh init (it is not self-stabilizing)", cfg.Protocol)
+	}
+	p := core.New(cfg.N, core.DefaultParams())
+	r := sim.New[core.State](p, p.InitialStates(), cfg.Seed)
+	_, err := r.RunUntil(core.Valid, 0, cfg.MaxInteractions)
+	res := Result{Interactions: r.Steps(), Converged: err == nil, Leader: -1}
+	res.Ranks = make([]int, cfg.N)
+	for i, s := range r.States() {
+		if s.Kind == core.KindRanked {
+			res.Ranks[i] = int(s.Rank)
+			if s.Rank == 1 {
+				res.Leader = i
+			}
+		}
+	}
+	if err != nil {
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+	}
+	return res, nil
+}
+
+func runCai(cfg Config) (Result, error) {
+	p := cai.New(cfg.N)
+	var init []cai.State
+	switch cfg.Init {
+	case InitFresh:
+		init = p.InitialStates()
+	case InitRandom:
+		rr := rng.New(cfg.Seed ^ 0xc0ffee)
+		init = make([]cai.State, cfg.N)
+		for i := range init {
+			init[i] = cai.State(1 + rr.Intn(cfg.N))
+		}
+	default:
+		return Result{}, fmt.Errorf("ssrank: protocol %q supports inits %q and %q", cfg.Protocol, InitFresh, InitRandom)
+	}
+	r := sim.New[cai.State](p, init, cfg.Seed)
+	_, err := r.RunUntil(cai.Valid, 0, cfg.MaxInteractions)
+	res := Result{Interactions: r.Steps(), Converged: err == nil, Leader: -1}
+	res.Ranks = make([]int, cfg.N)
+	for i, s := range r.States() {
+		res.Ranks[i] = int(s)
+		if s == 1 {
+			res.Leader = i
+		}
+	}
+	if err != nil {
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+	}
+	return res, nil
+}
+
+func runAware(cfg Config) (Result, error) {
+	p := aware.New(cfg.N, aware.DefaultParams())
+	if cfg.Init != InitFresh {
+		return Result{}, fmt.Errorf("ssrank: protocol %q currently supports only the fresh init", cfg.Protocol)
+	}
+	r := sim.New[aware.State](p, p.InitialStates(), cfg.Seed)
+	_, err := r.RunUntil(aware.Valid, 0, cfg.MaxInteractions)
+	res := Result{Interactions: r.Steps(), Converged: err == nil, Leader: -1, Resets: p.Resets()}
+	res.Ranks = make([]int, cfg.N)
+	for i, s := range r.States() {
+		if s.Mode == aware.ModeRanked {
+			res.Ranks[i] = int(s.Rank)
+			if s.Rank == 1 {
+				res.Leader = i
+			}
+		}
+	}
+	if err != nil {
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+	}
+	return res, nil
+}
+
+func runInterval(cfg Config) (Result, error) {
+	if cfg.Init != InitFresh {
+		return Result{}, fmt.Errorf("ssrank: protocol %q supports only the fresh init (it is not self-stabilizing)", cfg.Protocol)
+	}
+	p := interval.New(cfg.N, cfg.Epsilon)
+	r := sim.New[interval.State](p, p.InitialStates(), cfg.Seed)
+	_, err := r.RunUntil(interval.Valid, 0, cfg.MaxInteractions)
+	res := Result{Interactions: r.Steps(), Converged: err == nil, Leader: -1}
+	res.Ranks = make([]int, cfg.N)
+	for i, rk := range interval.Ranks(r.States()) {
+		res.Ranks[i] = int(rk)
+		if rk == 1 {
+			res.Leader = i
+		}
+	}
+	if err != nil {
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+	}
+	return res, nil
+}
+
+// Simulation is a stepwise handle on the self-stabilizing protocol:
+// run a while, inspect, corrupt, keep running — the API for fault
+// injection demos and live exploration.
+type Simulation struct {
+	p     *stable.Protocol
+	r     *sim.Runner[stable.State]
+	fault *rng.RNG
+}
+
+// NewSimulation starts a StableRanking population of n agents in the
+// fresh initial configuration.
+func NewSimulation(n int, seed uint64) (*Simulation, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("ssrank: N must be >= 2, got %d", n)
+	}
+	p := stable.New(n, stable.DefaultParams())
+	return &Simulation{
+		p:     p,
+		r:     sim.New[stable.State](p, p.InitialStates(), seed),
+		fault: rng.New(seed ^ 0xfa017),
+	}, nil
+}
+
+// N returns the population size.
+func (s *Simulation) N() int { return s.r.N() }
+
+// Step executes k interactions.
+func (s *Simulation) Step(k int64) { s.r.Run(k) }
+
+// RunUntilStable executes interactions until the ranking is valid, up
+// to maxInteractions (0 = the default budget). It reports whether the
+// population stabilized.
+func (s *Simulation) RunUntilStable(maxInteractions int64) bool {
+	if maxInteractions == 0 {
+		maxInteractions = s.r.Steps() + defaultBudget(s.r.N(), StableRanking)
+	}
+	_, err := s.r.RunUntil(stable.Valid, 0, maxInteractions)
+	return err == nil
+}
+
+// Interactions returns the number of interactions executed so far.
+func (s *Simulation) Interactions() int64 { return s.r.Steps() }
+
+// Stable reports whether the current configuration is a valid silent
+// ranking.
+func (s *Simulation) Stable() bool { return stable.Valid(s.r.States()) }
+
+// Ranks returns each agent's current rank, 0 for unranked agents.
+func (s *Simulation) Ranks() []int { return stableRanks(s.r.States()) }
+
+// RankedCount returns the number of currently ranked agents.
+func (s *Simulation) RankedCount() int { return stable.RankedCount(s.r.States()) }
+
+// Leader returns the index of the rank-1 agent, or -1.
+func (s *Simulation) Leader() int { return stable.LeaderRank1(s.r.States()) }
+
+// Resets returns the number of self-healing resets triggered so far.
+func (s *Simulation) Resets() int64 { return s.p.Resets() }
+
+// ResetBreakdown classifies the resets by cause.
+func (s *Simulation) ResetBreakdown() map[string]int64 { return s.p.ResetBreakdown() }
+
+// Corrupt overwrites k uniformly chosen agents with arbitrary states
+// from the protocol's state space — a transient fault burst. The
+// protocol will re-stabilize (Theorem 2).
+func (s *Simulation) Corrupt(k int) error {
+	if k < 0 || k > s.r.N() {
+		return fmt.Errorf("ssrank: cannot corrupt %d of %d agents", k, s.r.N())
+	}
+	faults.Corrupt(s.r.States(), k, s.fault, s.p.RandomState)
+	return nil
+}

@@ -1,0 +1,171 @@
+package ssrank
+
+import (
+	"errors"
+	"testing"
+)
+
+func isPermutation(ranks []int, max int) bool {
+	seen := make([]bool, max+1)
+	for _, r := range ranks {
+		if r < 1 || r > max || seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, proto := range Protocols() {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			res, err := Run(Config{N: 64, Protocol: proto, Seed: 3})
+			if err != nil {
+				if proto == SpaceEfficient && errors.Is(err, ErrNotConverged) {
+					t.Skip("space-efficient is correct w.h.p. only; this seed lost the leader lottery")
+				}
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatal("Converged false without error")
+			}
+			max := 64
+			if proto == Interval {
+				max = 128 // ε = 1 ⇒ range [1, 2n]
+			}
+			if !isPermutation(res.Ranks, max) {
+				t.Fatalf("ranks not distinct in [1, %d]: %v", max, res.Ranks)
+			}
+			if proto != Interval {
+				if res.Leader < 0 || res.Ranks[res.Leader] != 1 {
+					t.Fatalf("leader = %d, ranks = %v", res.Leader, res.Ranks)
+				}
+			}
+			if res.Interactions <= 0 {
+				t.Fatal("no interactions recorded")
+			}
+		})
+	}
+}
+
+func TestRunDefaultsToStable(t *testing.T) {
+	res, err := Run(Config{N: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isPermutation(res.Ranks, 32) {
+		t.Fatalf("ranks: %v", res.Ranks)
+	}
+}
+
+func TestRunStableInits(t *testing.T) {
+	for _, init := range []Init{InitFresh, InitWorstCase, InitRandom, InitFig3} {
+		res, err := Run(Config{N: 48, Seed: 9, Init: init})
+		if err != nil {
+			t.Fatalf("init %s: %v", init, err)
+		}
+		if !isPermutation(res.Ranks, 48) {
+			t.Fatalf("init %s: ranks %v", init, res.Ranks)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(Config{N: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{N: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Interactions != b.Interactions || a.Resets != b.Resets {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+	for i := range a.Ranks {
+		if a.Ranks[i] != b.Ranks[i] {
+			t.Fatalf("rank of agent %d differs", i)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{N: 1}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := Run(Config{N: 8, Protocol: "nope"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if _, err := Run(Config{N: 8, Protocol: SpaceEfficient, Init: InitRandom}); err == nil {
+		t.Fatal("non-self-stabilizing protocol accepted a random init")
+	}
+	if _, err := Run(Config{N: 8, Init: "nope"}); err == nil {
+		t.Fatal("unknown init accepted")
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	_, err := Run(Config{N: 64, Seed: 1, MaxInteractions: 10})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+func TestSimulationLifecycle(t *testing.T) {
+	s, err := NewSimulation(48, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 48 || s.Stable() {
+		t.Fatal("fresh simulation misreports")
+	}
+	if !s.RunUntilStable(0) {
+		t.Fatal("did not stabilize")
+	}
+	if !s.Stable() || !isPermutation(s.Ranks(), 48) {
+		t.Fatalf("ranks: %v", s.Ranks())
+	}
+	if s.RankedCount() != 48 {
+		t.Fatalf("RankedCount = %d", s.RankedCount())
+	}
+	leader := s.Leader()
+	if leader < 0 || s.Ranks()[leader] != 1 {
+		t.Fatalf("leader = %d", leader)
+	}
+	if s.Interactions() <= 0 {
+		t.Fatal("no interactions recorded")
+	}
+}
+
+func TestSimulationFaultRecovery(t *testing.T) {
+	s, err := NewSimulation(48, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntilStable(0) {
+		t.Fatal("did not stabilize")
+	}
+	if err := s.Corrupt(12); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntilStable(0) {
+		t.Fatalf("did not recover; resets: %v", s.ResetBreakdown())
+	}
+	if !isPermutation(s.Ranks(), 48) {
+		t.Fatalf("ranks after recovery: %v", s.Ranks())
+	}
+}
+
+func TestSimulationErrors(t *testing.T) {
+	if _, err := NewSimulation(1, 0); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	s, _ := NewSimulation(8, 0)
+	if err := s.Corrupt(9); err == nil {
+		t.Fatal("overlong corruption accepted")
+	}
+	if err := s.Corrupt(-1); err == nil {
+		t.Fatal("negative corruption accepted")
+	}
+}
