@@ -2,8 +2,13 @@
 // evaluation (plus the shape experiments of DESIGN.md §3), writing one
 // CSV per experiment and printing ASCII renderings:
 //
-//	figures -out results/            # full scale (minutes)
+//	figures -out results/            # full scale, all CPUs
 //	figures -quick -only E1,E2       # scaled down, selected experiments
+//	figures -parallel 1              # serial replications (same output)
+//
+// Replications fan out over the deterministic parallel engine
+// (internal/sim/replicate): the CSVs are byte-identical for any
+// -parallel value, so the flag only trades wall-clock for cores.
 //
 // EXPERIMENTS.md records a full run's output next to the paper's
 // numbers.
@@ -25,14 +30,15 @@ func main() {
 
 func run() int {
 	var (
-		out   = flag.String("out", "results", "directory for CSV output (created if missing)")
-		quick = flag.Bool("quick", false, "scaled-down experiments (seconds instead of minutes)")
-		only  = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E3); empty = all")
-		seed  = flag.Uint64("seed", 0x5eed, "experiment seed")
+		out      = flag.String("out", "results", "directory for CSV output (created if missing)")
+		quick    = flag.Bool("quick", false, "scaled-down experiments (seconds instead of minutes)")
+		only     = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E3); empty = all")
+		seed     = flag.Uint64("seed", 0x5eed, "experiment seed")
+		parallel = flag.Int("parallel", 0, "replication workers: 0 = one per CPU, 1 = serial (output is identical either way)")
 	)
 	flag.Parse()
 
-	opts := expt.Options{Seed: *seed, Quick: *quick}
+	opts := expt.Options{Seed: *seed, Quick: *quick, Workers: *parallel}
 
 	ids := make([]string, 0, len(expt.Registry))
 	if *only != "" {

@@ -2,6 +2,11 @@
 //
 //	ssrank -n 256 -protocol stable -init worst-case -seed 7 -v
 //
+// With -trials it replicates the run across the deterministic parallel
+// engine and reports aggregate statistics instead:
+//
+//	ssrank -n 256 -trials 32 -parallel 0   # 32 replications, all CPUs
+//
 // It exercises exactly the public API a library user would call.
 package main
 
@@ -14,7 +19,9 @@ import (
 
 	"ssrank"
 	"ssrank/internal/sim"
+	"ssrank/internal/sim/replicate"
 	"ssrank/internal/stable"
+	"ssrank/internal/stats"
 	"ssrank/internal/trace"
 )
 
@@ -32,8 +39,32 @@ func run() int {
 		epsilon  = flag.Float64("epsilon", 1.0, "range slack for the interval protocol")
 		verbose  = flag.Bool("v", false, "print the full rank assignment")
 		traceOut = flag.String("trace", "", "write a per-n-interactions CSV time series to this file (stable protocol only)")
+		trials   = flag.Int("trials", 0, "replicate the run this many times and report aggregate statistics")
+		parallel = flag.Int("parallel", 0, "replication workers for -trials: 0 = one per CPU, 1 = serial (results are identical either way)")
 	)
 	flag.Parse()
+
+	if *parallel != 0 && *trials <= 0 {
+		fmt.Fprintln(os.Stderr, "ssrank: -parallel only applies to -trials replication sweeps")
+		return 2
+	}
+	if *trials > 0 {
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "ssrank: -trace and -trials are mutually exclusive")
+			return 2
+		}
+		if *verbose {
+			fmt.Fprintln(os.Stderr, "ssrank: -v applies to single runs only, not -trials aggregates")
+			return 2
+		}
+		return runReplicated(ssrank.Config{
+			N:               *n,
+			Protocol:        ssrank.Protocol(*protocol),
+			Init:            ssrank.Init(*init),
+			MaxInteractions: *budget,
+			Epsilon:         *epsilon,
+		}, *seed, *trials, *parallel)
+	}
 
 	if *traceOut != "" {
 		if *protocol != string(ssrank.StableRanking) {
@@ -78,6 +109,54 @@ func run() int {
 	}
 	if !res.Converged {
 		fmt.Println("warning: budget exhausted before a valid ranking")
+		return 1
+	}
+	return 0
+}
+
+// runReplicated fans trials of the configured protocol out over the
+// deterministic replication engine and reports aggregate statistics.
+// Per-trial seeds derive from (seed, trial) only, so the summary is
+// identical at every -parallel setting.
+func runReplicated(cfg ssrank.Config, seed uint64, trials, workers int) int {
+	type trialR struct {
+		res ssrank.Result
+		err error
+	}
+	results := replicate.Replicate(workers, trials, seed, func(_ int, s uint64) trialR {
+		c := cfg
+		c.Seed = s
+		res, err := ssrank.Run(c)
+		return trialR{res, err}
+	})
+
+	var steps, resets []float64
+	converged := 0
+	for _, t := range results {
+		if t.err != nil && !errors.Is(t.err, ssrank.ErrNotConverged) {
+			fmt.Fprintln(os.Stderr, "ssrank:", t.err)
+			return 2
+		}
+		if t.res.Converged {
+			converged++
+			steps = append(steps, float64(t.res.Interactions))
+			resets = append(resets, float64(t.res.Resets))
+		}
+	}
+	fmt.Printf("protocol=%s n=%d seed=%d trials=%d workers=%d\n",
+		cfg.Protocol, cfg.N, seed, trials, replicate.Workers(workers, trials))
+	fmt.Printf("converged=%d/%d\n", converged, trials)
+	if converged > 0 {
+		med := stats.Median(steps)
+		mean, ci := stats.MeanCI95(steps)
+		fmt.Printf("interactions median=%.0f (%.2f n²) mean=%.0f ±%.0f\n",
+			med, med/float64(cfg.N)/float64(cfg.N), mean, ci)
+		if m := stats.Mean(resets); m > 0 {
+			fmt.Printf("mean resets=%.2f\n", m)
+		}
+	}
+	if converged < trials {
+		fmt.Println("warning: some replications exhausted their budget")
 		return 1
 	}
 	return 0

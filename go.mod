@@ -1,0 +1,3 @@
+module ssrank
+
+go 1.24

@@ -96,6 +96,15 @@ func Valid(states []State) bool {
 	return true
 }
 
+// RankOf returns the agent's rank, or 0 while unranked — the extractor
+// behind the engine's incremental validity condition.
+func RankOf(s *State) int {
+	if s.Mode != ModeRanked {
+		return 0
+	}
+	return int(s.Rank)
+}
+
 // RankedCount returns the number of ranked agents.
 func RankedCount(states []State) int {
 	c := 0

@@ -51,6 +51,11 @@ func (p *Protocol) InitialStates() []State {
 	return states
 }
 
+// RankOf returns the agent's label — the extractor behind the
+// engine's incremental validity condition (labels outside [1, n] are
+// treated as unranked by the tracker).
+func RankOf(s *State) int { return int(*s) }
+
 // Valid reports whether the labels form a permutation of 1..n.
 func Valid(states []State) bool {
 	seen := make([]bool, len(states)+1)

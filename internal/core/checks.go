@@ -16,6 +16,15 @@ func Valid(states []State) bool {
 	return true
 }
 
+// RankOf returns the agent's rank, or 0 while unranked — the extractor
+// behind the engine's incremental validity condition.
+func RankOf(s *State) int {
+	if s.Kind != KindRanked {
+		return 0
+	}
+	return int(s.Rank)
+}
+
 // Silent reports whether no interaction can change any agent's state.
 // For SpaceEfficientRanking this holds exactly when no agent is
 // leader-electing and no agent is a phase agent: every rule of

@@ -7,7 +7,6 @@ import (
 	"ssrank/internal/coin"
 	"ssrank/internal/core"
 	"ssrank/internal/plot"
-	"ssrank/internal/rng"
 	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
@@ -40,38 +39,47 @@ func AblationCWait(opts Options) Figure {
 	stResets := plot.Series{Name: "stable mean resets / 10"}
 
 	for _, cw := range cwaits {
+		norm := float64(n) * float64(n) * math.Log2(float64(n))
+
 		// Non-self-stabilizing protocol: count silent-but-invalid
 		// outcomes.
 		invalid := 0
 		var coreNorms []float64
-		seeds := rng.New(opts.Seed ^ uint64(cw*100) ^ 0x8)
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(cw*100)^0x8, trials, func(_ int, seed uint64) stepsResult {
 			p := core.New(n, core.Params{CWait: cw})
-			r := sim.New[core.State](p, p.InitialStates(), seeds.Uint64())
+			r := sim.New[core.State](p, p.InitialStates(), seed)
 			stop := func(ss []core.State) bool { return core.Silent(ss) }
 			if _, err := r.RunUntil(stop, 0, budget(n, 300)); err != nil {
-				invalid++ // never went silent: also a failure
-				continue
+				return stepsResult{0, false} // never went silent: also a failure
 			}
-			if core.Valid(r.States()) {
-				coreNorms = append(coreNorms, float64(r.Steps())/(float64(n)*float64(n)*math.Log2(float64(n))))
+			return stepsResult{float64(r.Steps()), core.Valid(r.States())}
+		}) {
+			if t.ok {
+				coreNorms = append(coreNorms, t.steps/norm)
 			} else {
 				invalid++
 			}
 		}
 
 		// Self-stabilizing protocol: always converges; count resets.
+		type trialR struct {
+			stepsResult
+			resets float64
+		}
 		var stNorms, stRe []float64
-		for trial := 0; trial < trials/2; trial++ {
+		for _, t := range runTrials(opts, uint64(cw*100)^0x8a5, trials/2, func(_ int, seed uint64) trialR {
 			params := stable.DefaultParams()
 			params.CWait = cw
 			p := stable.New(n, params)
-			r := sim.New[stable.State](p, p.InitialStates(), seeds.Uint64())
-			if _, err := r.RunUntil(stable.Valid, 0, budget(n, 5000)); err != nil {
+			r := sim.New[stable.State](p, p.InitialStates(), seed)
+			_, err := r.RunUntil(stable.Valid, 0, budget(n, 5000))
+			return trialR{stepsResult{float64(r.Steps()), err == nil}, float64(p.Resets())}
+		}) {
+			if !t.ok {
 				continue
 			}
-			stNorms = append(stNorms, float64(r.Steps())/(float64(n)*float64(n)*math.Log2(float64(n))))
-			stRe = append(stRe, float64(p.Resets()))
+			stNorms = append(stNorms, t.steps/norm)
+			stRe = append(stRe, t.resets)
 		}
 
 		invalidRate := float64(invalid) / float64(trials)
@@ -110,13 +118,11 @@ func CoinBalance(opts Options) Figure {
 	paperLine := plot.Series{Name: "paper bound n/(4 log n)"}
 	sqrtLine := plot.Series{Name: "sqrt(n)"}
 	for _, n := range ns {
-		var imb []float64
-		seeds := rng.New(opts.Seed ^ uint64(9*n))
-		for trial := 0; trial < trials; trial++ {
-			p := coin.NewPopulation(coin.AllZero(n), seeds.Uint64())
+		imb := runTrials(opts, uint64(9*n), trials, func(_ int, seed uint64) float64 {
+			p := coin.NewPopulation(coin.AllZero(n), seed)
 			p.Step(4 * coin.WarmupInteractions(n))
-			imb = append(imb, float64(p.Imbalance()))
-		}
+			return float64(p.Imbalance())
+		})
 		pb := coin.BalanceBound(n)
 		fig.Rows = append(fig.Rows, []string{
 			itoa(n), itoa(trials), f2(stats.Mean(imb)), f2(stats.Quantile(imb, 0.95)), f2(pb), f2(math.Sqrt(float64(n))),

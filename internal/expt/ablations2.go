@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"ssrank/internal/plot"
-	"ssrank/internal/rng"
 	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
@@ -42,10 +41,16 @@ func AblationResetWave(opts Options) Figure {
 		params.RMaxFactor = f
 		params.DMaxFactor = f
 
+		type trialR struct {
+			covered      bool
+			wave         float64
+			stabilized   bool
+			norm, resets float64
+		}
 		covered := 0
 		var waves, norms, resets []float64
-		seeds := rng.New(opts.Seed ^ uint64(f*1000) ^ 0xe15)
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(f*1000)^0xe15, trials, func(_ int, seed uint64) trialR {
+			var out trialR
 			// Phase 1: wave coverage. Trigger one agent of a fully
 			// ranked (legal) population and watch whether every agent
 			// leaves the main protocol before any returns to it.
@@ -55,7 +60,7 @@ func AblationResetWave(opts Options) Figure {
 				states[i] = stable.Ranked(int32(i + 1))
 			}
 			p.TriggerReset(&states[0])
-			r := sim.New[stable.State](p, states, seeds.Uint64())
+			r := sim.New[stable.State](p, states, seed)
 			fullyOut := func(ss []stable.State) bool {
 				for i := range ss {
 					if ss[i].IsMain() {
@@ -65,19 +70,29 @@ func AblationResetWave(opts Options) Figure {
 				return true
 			}
 			waveBudget := int64(200 * float64(n) * math.Log2(float64(n)) * (f + 1))
-			steps, err := r.RunUntil(fullyOut, 0, waveBudget)
-			if err == nil {
-				covered++
-				waves = append(waves, float64(steps)/(float64(n)*math.Log2(float64(n))))
+			if steps, err := r.RunUntil(fullyOut, 0, waveBudget); err == nil {
+				out.covered = true
+				out.wave = float64(steps) / (float64(n) * math.Log2(float64(n)))
 			}
 
 			// Phase 2: end-to-end stabilization cost with these
 			// constants, from the worst-case start.
 			p2 := stable.New(n, params)
-			r2 := sim.New[stable.State](p2, p2.WorstCaseInit(), seeds.Uint64())
+			r2 := sim.New[stable.State](p2, p2.WorstCaseInit(), seed^0x9e15)
 			if s2, err := r2.RunUntil(stable.Valid, 0, budget(n, 5000)); err == nil {
-				norms = append(norms, float64(s2)/(float64(n)*float64(n)*math.Log2(float64(n))))
-				resets = append(resets, float64(p2.Resets()))
+				out.stabilized = true
+				out.norm = float64(s2) / (float64(n) * float64(n) * math.Log2(float64(n)))
+				out.resets = float64(p2.Resets())
+			}
+			return out
+		}) {
+			if t.covered {
+				covered++
+				waves = append(waves, t.wave)
+			}
+			if t.stabilized {
+				norms = append(norms, t.norm)
+				resets = append(resets, t.resets)
 			}
 		}
 		covRate := float64(covered) / float64(trials)
@@ -119,15 +134,22 @@ func AblationLEBudget(opts Options) Figure {
 	for _, f := range factors {
 		params := stable.DefaultParams()
 		params.LEBudgetFactor = f
+		type trialR struct {
+			stepsResult
+			leResets, resets float64
+		}
 		var leResets, total, norms []float64
-		seeds := rng.New(opts.Seed ^ uint64(f*100) ^ 0xe16)
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(f*100)^0xe16, trials, func(_ int, seed uint64) trialR {
 			p := stable.New(n, params)
-			r := sim.New[stable.State](p, p.InitialStates(), seeds.Uint64())
-			if s, err := r.RunUntil(stable.Valid, 0, budget(n, 5000)); err == nil {
-				norms = append(norms, float64(s)/(float64(n)*float64(n)*math.Log2(float64(n))))
-				leResets = append(leResets, float64(p.ResetsFor(stable.ReasonLEExpired)))
-				total = append(total, float64(p.Resets()))
+			r := sim.New[stable.State](p, p.InitialStates(), seed)
+			s, err := r.RunUntil(stable.Valid, 0, budget(n, 5000))
+			return trialR{stepsResult{float64(s), err == nil},
+				float64(p.ResetsFor(stable.ReasonLEExpired)), float64(p.Resets())}
+		}) {
+			if t.ok {
+				norms = append(norms, t.steps/(float64(n)*float64(n)*math.Log2(float64(n))))
+				leResets = append(leResets, t.leResets)
+				total = append(total, t.resets)
 			}
 		}
 		fig.Rows = append(fig.Rows, []string{

@@ -7,7 +7,6 @@ import (
 	"ssrank/internal/baseline/cai"
 	"ssrank/internal/baseline/interval"
 	"ssrank/internal/plot"
-	"ssrank/internal/rng"
 	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
@@ -43,15 +42,15 @@ func BaselineComparison(opts Options) Figure {
 		lg := math.Log2(float64(n))
 
 		var caiTimes []float64
-		seeds := rng.New(opts.Seed ^ uint64(61*n))
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(61*n)^0xca1, trials, func(_ int, seed uint64) stepsResult {
 			p := cai.New(n)
-			r := sim.New[cai.State](p, p.InitialStates(), seeds.Uint64())
+			r := sim.New[cai.State](p, p.InitialStates(), seed)
 			steps, err := r.RunUntil(cai.Valid, 0, int64(2000)*int64(n)*int64(n)*int64(n))
-			if err != nil {
-				continue
+			return stepsResult{float64(steps), err == nil}
+		}) {
+			if t.ok {
+				caiTimes = append(caiTimes, t.steps)
 			}
-			caiTimes = append(caiTimes, float64(steps))
 		}
 		med := stats.Median(caiTimes)
 		fig.Rows = append(fig.Rows, []string{"cai", itoa(n), itoa(len(caiTimes)), f4(med), f4(med / (float64(n) * float64(n) * lg))})
@@ -61,14 +60,15 @@ func BaselineComparison(opts Options) Figure {
 		caiY = append(caiY, med)
 
 		var stTimes []float64
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(61*n)^0x57ab1e, trials, func(_ int, seed uint64) stepsResult {
 			p := stable.New(n, stable.DefaultParams())
-			r := sim.New[stable.State](p, p.InitialStates(), seeds.Uint64())
+			r := sim.New[stable.State](p, p.InitialStates(), seed)
 			steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000))
-			if err != nil {
-				continue
+			return stepsResult{float64(steps), err == nil}
+		}) {
+			if t.ok {
+				stTimes = append(stTimes, t.steps)
 			}
-			stTimes = append(stTimes, float64(steps))
 		}
 		med = stats.Median(stTimes)
 		fig.Rows = append(fig.Rows, []string{"stable", itoa(n), itoa(len(stTimes)), f4(med), f4(med / (float64(n) * float64(n) * lg))})
@@ -118,14 +118,15 @@ func TradeoffEpsilon(opts Options) Figure {
 	for _, eps := range epsilons {
 		p := interval.New(n, eps)
 		var times []float64
-		seeds := rng.New(opts.Seed ^ uint64(eps*1000) ^ uint64(n))
-		for trial := 0; trial < trials; trial++ {
-			r := sim.New[interval.State](p, p.InitialStates(), seeds.Uint64())
+		for _, t := range runTrials(opts, uint64(eps*1000)^uint64(n), trials, func(_ int, seed uint64) stepsResult {
+			pt := interval.New(n, eps)
+			r := sim.New[interval.State](pt, pt.InitialStates(), seed)
 			steps, err := r.RunUntil(interval.Valid, 0, int64(5000)*int64(n)*int64(n))
-			if err != nil {
-				continue
+			return stepsResult{float64(steps), err == nil}
+		}) {
+			if t.ok {
+				times = append(times, t.steps)
 			}
-			times = append(times, float64(steps))
 		}
 		slack := int(p.M()) - n
 		lb := interval.LowerBound(n, slack)

@@ -35,13 +35,12 @@ func EpidemicTail(opts Options) Figure {
 		if m < 2 {
 			continue
 		}
-		r := rng.New(opts.Seed ^ uint64(13*m))
-		var times []float64
 		bound := epidemic.Bound(n, m, 1)
 		violations := 0
-		for trial := 0; trial < trials; trial++ {
-			t := float64(epidemic.CompletionTime(n, m, r))
-			times = append(times, t)
+		times := runTrials(opts, uint64(13*m), trials, func(_ int, seed uint64) float64 {
+			return float64(epidemic.CompletionTime(n, m, rng.New(seed)))
+		})
+		for _, t := range times {
 			if t > bound {
 				violations++
 			}

@@ -4,7 +4,11 @@
 // and a terminal rendering (ASCII chart or table), plus notes comparing
 // the measurement against what the paper predicts.
 //
-// All experiments are deterministic functions of Options.Seed.
+// All experiments are deterministic functions of Options.Seed: trial
+// replications run through the parallel engine in
+// internal/sim/replicate, whose per-trial seeds depend only on (seed,
+// trial index), so the produced figures are bit-identical at any
+// worker count.
 package expt
 
 import (
@@ -12,6 +16,7 @@ import (
 	"math"
 
 	"ssrank/internal/plot"
+	"ssrank/internal/sim/replicate"
 )
 
 // Options control experiment scale.
@@ -22,6 +27,9 @@ type Options struct {
 	// harness run in the seconds range (used by benchmarks and smoke
 	// runs). The full-scale settings reproduce the paper's ranges.
 	Quick bool
+	// Workers bounds the replication worker pool: < 1 means one worker
+	// per CPU, 1 forces serial execution. Results do not depend on it.
+	Workers int
 }
 
 // DefaultOptions returns the full-scale configuration.
@@ -101,6 +109,21 @@ var Registry = map[string]func(Options) Figure{
 	"E16": AblationLEBudget,
 	"E17": PhaseStructure,
 	"E18": LooseVsSilent,
+}
+
+// runTrials fans one generator's replication loop out over the
+// parallel engine. salt decorrelates the several loops of one
+// experiment from each other; every trial's randomness must derive
+// from the seed passed to run, which depends only on (Options.Seed,
+// salt, trial) — never on scheduling order.
+func runTrials[R any](o Options, salt uint64, trials int, run func(trial int, seed uint64) R) []R {
+	return replicate.Replicate(o.Workers, trials, o.Seed^salt, run)
+}
+
+// stepsResult is the common per-trial outcome of a stabilization run.
+type stepsResult struct {
+	steps float64
+	ok    bool
 }
 
 // budget returns c·n²·log₂ n.

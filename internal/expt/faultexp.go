@@ -33,30 +33,45 @@ func FaultRecovery(opts Options) Figure {
 	line := plot.Series{Name: "median normalized recovery"}
 
 	for _, k := range ks {
+		type trialR struct {
+			recovered bool
+			norm      float64
+			resets    float64
+			hasResets bool
+		}
 		var norms, resets []float64
 		recovered := 0
-		seeds := rng.New(opts.Seed ^ uint64(10*k+n))
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(10*k+n), trials, func(_ int, seed uint64) trialR {
 			p := stable.New(n, stable.DefaultParams())
-			r := sim.New[stable.State](p, p.InitialStates(), seeds.Uint64())
+			r := sim.New[stable.State](p, p.InitialStates(), seed)
 			if _, err := r.RunUntil(stable.Valid, 0, budget(n, 3000)); err != nil {
-				continue
+				return trialR{}
 			}
 			start := r.Steps()
-			faults.Corrupt(r.States(), k, seeds.Split(), p.RandomState)
+			faults.Corrupt(r.States(), k, rng.New(seed^0xfa017), p.RandomState)
 			if stable.Valid(r.States()) {
 				// The corruption happened to preserve the permutation
 				// (possible for tiny k); recovery time is zero.
-				recovered++
-				norms = append(norms, 0)
-				continue
+				return trialR{recovered: true}
 			}
 			if _, err := r.RunUntil(stable.Valid, 0, start+budget(n, 3000)); err != nil {
+				return trialR{}
+			}
+			return trialR{
+				recovered: true,
+				norm:      float64(r.Steps()-start) / (float64(n) * float64(n) * math.Log2(float64(n))),
+				resets:    float64(p.Resets()),
+				hasResets: true,
+			}
+		}) {
+			if !t.recovered {
 				continue
 			}
 			recovered++
-			norms = append(norms, float64(r.Steps()-start)/(float64(n)*float64(n)*math.Log2(float64(n))))
-			resets = append(resets, float64(p.Resets()))
+			norms = append(norms, t.norm)
+			if t.hasResets {
+				resets = append(resets, t.resets)
+			}
 		}
 		fig.Rows = append(fig.Rows, []string{
 			itoa(k), itoa(trials), itoa(recovered), f4(stats.Median(norms)), f2(stats.Mean(resets)),
@@ -95,24 +110,39 @@ func DeadConfigReset(opts Options) Figure {
 		Title:  fmt.Sprintf("Lemmas 24–26 — dead-configuration detection (n=%d)", n),
 		Header: []string{"config", "trials", "median_detect_over_n2logn", "median_stabilize_over_n2logn", "dominant_reason"},
 	}
-	for _, cfg := range configs {
+	for ci, cfg := range configs {
+		type trialR struct {
+			detected  bool
+			detect    float64
+			breakdown map[string]int64
+			total     float64
+			hasTotal  bool
+		}
 		var detect, total []float64
 		reasons := map[string]int64{}
-		seeds := rng.New(opts.Seed ^ uint64(14*n))
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(14*n)^uint64(ci)<<8, trials, func(_ int, seed uint64) trialR {
 			p := stable.New(n, stable.DefaultParams())
-			r := sim.New[stable.State](p, cfg.make(p), seeds.Uint64())
+			r := sim.New[stable.State](p, cfg.make(p), seed)
 			steps, err := r.RunUntil(func([]stable.State) bool { return p.Resets() > 0 }, 0, budget(n, 3000))
 			if err != nil {
-				continue
+				return trialR{}
 			}
 			norm := float64(n) * float64(n) * math.Log2(float64(n))
-			detect = append(detect, float64(steps)/norm)
-			for reason, c := range p.ResetBreakdown() {
+			out := trialR{detected: true, detect: float64(steps) / norm, breakdown: p.ResetBreakdown()}
+			if _, err := r.RunUntil(stable.Valid, 0, steps+budget(n, 3000)); err == nil {
+				out.total, out.hasTotal = float64(r.Steps())/norm, true
+			}
+			return out
+		}) {
+			if !t.detected {
+				continue
+			}
+			detect = append(detect, t.detect)
+			for reason, c := range t.breakdown {
 				reasons[reason] += c
 			}
-			if _, err := r.RunUntil(stable.Valid, 0, steps+budget(n, 3000)); err == nil {
-				total = append(total, float64(r.Steps())/norm)
+			if t.hasTotal {
+				total = append(total, t.total)
 			}
 		}
 		dominant, best := "-", int64(0)

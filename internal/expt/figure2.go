@@ -23,28 +23,42 @@ func Figure2(opts Options) Figure {
 		maxUnits = 400 // small n: the reset lottery has higher variance
 	}
 
-	p := stable.New(n, stable.DefaultParams())
-	r := sim.New[stable.State](p, p.WorstCaseInit(), opts.Seed)
-
 	type point struct {
 		units  float64
 		ranked int
 		phase  float64
 		resets int64
 	}
-	var pts []point
-	sample := int64(n) * int64(n) / 4
-	maxSteps := int64(maxUnits * float64(n) * float64(n))
-	stabilizedAt := -1.0
-	r.Observe(func(steps int64, states []stable.State) {
-		u := float64(steps) / float64(n) / float64(n)
-		pts = append(pts, point{u, stable.RankedCount(states), stable.MeanPhase(states), p.Resets()})
-		if stabilizedAt < 0 && stable.Valid(states) {
-			stabilizedAt = u
-		}
-	}, sample, maxSteps, func(states []stable.State) bool {
-		return stable.Valid(states)
-	})
+	type fig2run struct {
+		pts          []point
+		stabilizedAt float64
+		resets       int64
+		breakdown    map[string]int64
+	}
+	// A single trajectory, seeded directly by the experiment seed (the
+	// engine's per-trial derivation would re-seed the one figure the
+	// paper pins to a specific worst-case run); the replication engine
+	// still hosts it so every generator shares one execution path.
+	res := runTrials(opts, 0, 1, func(int, uint64) fig2run {
+		p := stable.New(n, stable.DefaultParams())
+		r := sim.New[stable.State](p, p.WorstCaseInit(), opts.Seed)
+		out := fig2run{stabilizedAt: -1}
+		sample := int64(n) * int64(n) / 4
+		maxSteps := int64(maxUnits * float64(n) * float64(n))
+		r.Observe(func(steps int64, states []stable.State) {
+			u := float64(steps) / float64(n) / float64(n)
+			out.pts = append(out.pts, point{u, stable.RankedCount(states), stable.MeanPhase(states), p.Resets()})
+			if out.stabilizedAt < 0 && stable.Valid(states) {
+				out.stabilizedAt = u
+			}
+		}, sample, maxSteps, func(states []stable.State) bool {
+			return stable.Valid(states)
+		})
+		out.resets = p.Resets()
+		out.breakdown = p.ResetBreakdown()
+		return out
+	})[0]
+	pts, stabilizedAt := res.pts, res.stabilizedAt
 
 	fig := Figure{
 		ID:     "E1",
@@ -65,9 +79,9 @@ func Figure2(opts Options) Figure {
 	if stabilizedAt >= 0 {
 		fig.Notes = append(fig.Notes, fmt.Sprintf(
 			"stabilized at %.1f n² interactions with %d resets (paper shows ≈60 n² for n=256; same reset-then-re-rank shape)",
-			stabilizedAt, p.Resets()))
+			stabilizedAt, res.resets))
 	} else {
-		fig.Notes = append(fig.Notes, fmt.Sprintf("NOT stabilized within %.0f n²; resets=%v", maxUnits, p.ResetBreakdown()))
+		fig.Notes = append(fig.Notes, fmt.Sprintf("NOT stabilized within %.0f n²; resets=%v", maxUnits, res.breakdown))
 	}
 	firstReset := -1.0
 	for _, pt := range pts {

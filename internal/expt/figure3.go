@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"ssrank/internal/plot"
-	"ssrank/internal/rng"
 	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
@@ -97,9 +96,9 @@ func Figure3(opts Options) Figure {
 	for _, n := range ns {
 		trials := trialsFor(n)
 		hit := make([][]float64, len(fig3Fractions))
-		seeds := rng.New(opts.Seed ^ uint64(n))
-		for trial := 0; trial < trials; trial++ {
-			times := fig3HittingTimes(n, seeds.Uint64())
+		for _, times := range runTrials(opts, uint64(n), trials, func(_ int, seed uint64) []float64 {
+			return fig3HittingTimes(n, seed)
+		}) {
 			for i, v := range times {
 				if v >= 0 {
 					hit[i] = append(hit[i], v)

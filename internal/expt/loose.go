@@ -6,7 +6,6 @@ import (
 
 	"ssrank/internal/baseline/sudo"
 	"ssrank/internal/plot"
-	"ssrank/internal/rng"
 	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
@@ -45,31 +44,39 @@ func LooseVsSilent(opts Options) Figure {
 
 	for _, n := range ns {
 		lg := math.Log2(float64(n))
-		seeds := rng.New(opts.Seed ^ uint64(18*n))
 
 		// Loosely-stabilizing: convergence from the drained no-leader
 		// start, then probe the holding time.
+		type looseR struct {
+			stepsResult
+			held bool
+		}
 		var convs []float64
 		survived := 0
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(18*n), trials, func(_ int, seed uint64) looseR {
 			p := sudo.New(n, 8)
-			r := sim.New[sudo.State](p, p.InitialStates(), seeds.Uint64())
+			r := sim.New[sudo.State](p, p.InitialStates(), seed)
 			steps, err := r.RunUntil(sudo.UniqueLeader, 0, int64(1000*float64(n)*lg))
 			if err != nil {
-				continue
+				return looseR{}
 			}
-			convs = append(convs, float64(steps)/(float64(n)*float64(n)))
+			out := looseR{stepsResult{float64(steps), true}, true}
 			// Holding probe: does the unique leader survive the budget?
-			held := true
 			probe := int64(holdBudgetFactor * float64(n) * lg / 100)
 			for i := 0; i < 100; i++ {
 				r.Run(probe)
 				if !sudo.UniqueLeader(r.States()) {
-					held = false
+					out.held = false
 					break
 				}
 			}
-			if held {
+			return out
+		}) {
+			if !t.ok {
+				continue
+			}
+			convs = append(convs, t.steps/(float64(n)*float64(n)))
+			if t.held {
 				survived++
 			}
 		}
@@ -77,11 +84,14 @@ func LooseVsSilent(opts Options) Figure {
 		// Silent (the paper's protocol): convergence to a valid ranking
 		// = permanent leader.
 		var silentConvs []float64
-		for trial := 0; trial < trials/2+1; trial++ {
+		for _, t := range runTrials(opts, uint64(18*n)^0x511e47, trials/2+1, func(_ int, seed uint64) stepsResult {
 			p := stable.New(n, stable.DefaultParams())
-			r := sim.New[stable.State](p, p.InitialStates(), seeds.Uint64())
-			if steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000)); err == nil {
-				silentConvs = append(silentConvs, float64(steps)/(float64(n)*float64(n)*lg))
+			r := sim.New[stable.State](p, p.InitialStates(), seed)
+			steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000))
+			return stepsResult{float64(steps), err == nil}
+		}) {
+			if t.ok {
+				silentConvs = append(silentConvs, t.steps/(float64(n)*float64(n)*lg))
 			}
 		}
 

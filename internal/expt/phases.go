@@ -5,7 +5,6 @@ import (
 
 	"ssrank/internal/core"
 	"ssrank/internal/plot"
-	"ssrank/internal/rng"
 	"ssrank/internal/stats"
 )
 
@@ -28,18 +27,25 @@ func PhaseStructure(opts Options) Figure {
 	p := core.New(n, core.DefaultParams())
 	kMax := p.Phases().KMax()
 
-	// measured[kind][k] collects durations per phase index.
+	type trialR struct {
+		windows []core.Window
+		ok      bool
+	}
+	// measured[kind][k] collects durations per phase index. Each trial
+	// tracks a private protocol instance so windows segment in
+	// parallel.
 	waitDur := make(map[int32][]float64)
 	rankDur := make(map[int32][]float64)
-	seeds := rng.New(opts.Seed ^ uint64(17*n))
 	converged := 0
-	for trial := 0; trial < trials; trial++ {
-		windows, ok := core.TrackWindows(p, seeds.Uint64(), int64(n), budget(n, 200))
-		if !ok {
+	for _, t := range runTrials(opts, uint64(17*n), trials, func(_ int, seed uint64) trialR {
+		windows, ok := core.TrackWindows(core.New(n, core.DefaultParams()), seed, int64(n), budget(n, 200))
+		return trialR{windows, ok}
+	}) {
+		if !t.ok {
 			continue
 		}
 		converged++
-		for _, w := range windows {
+		for _, w := range t.windows {
 			if w.Phase > kMax {
 				continue
 			}

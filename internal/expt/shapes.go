@@ -33,16 +33,17 @@ func Theorem1Shape(opts Options) Figure {
 	for _, n := range ns {
 		var norms []float64
 		converged := 0
-		seeds := rng.New(opts.Seed ^ uint64(3*n))
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(3*n), trials, func(_ int, seed uint64) stepsResult {
 			p := core.New(n, core.DefaultParams())
-			r := sim.New[core.State](p, p.InitialStates(), seeds.Uint64())
+			r := sim.New[core.State](p, p.InitialStates(), seed)
 			steps, err := r.RunUntil(core.Valid, 0, budget(n, 200))
-			if err != nil {
+			return stepsResult{float64(steps), err == nil}
+		}) {
+			if !t.ok {
 				continue // w.h.p. caveat: occasional LE failures
 			}
 			converged++
-			norms = append(norms, float64(steps)/(float64(n)*float64(n)*math.Log2(float64(n))))
+			norms = append(norms, t.steps/(float64(n)*float64(n)*math.Log2(float64(n))))
 		}
 		mean, ci := stats.MeanCI95(norms)
 		med := stats.Median(norms)
@@ -89,17 +90,22 @@ func Theorem2Shape(opts Options) Figure {
 	}
 	for _, n := range ns {
 		for ii, init := range inits {
+			type trialR struct {
+				stepsResult
+				resets float64
+			}
 			var norms, resets []float64
-			seeds := rng.New(opts.Seed ^ uint64(n*(ii+1)))
-			for trial := 0; trial < trials; trial++ {
+			for _, t := range runTrials(opts, uint64(n*(ii+1)), trials, func(_ int, seed uint64) trialR {
 				p := stable.New(n, stable.DefaultParams())
-				r := sim.New[stable.State](p, init.make(p, seeds.Split()), seeds.Uint64())
+				r := sim.New[stable.State](p, init.make(p, rng.New(seed^0x1417)), seed)
 				steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000))
-				if err != nil {
+				return trialR{stepsResult{float64(steps), err == nil}, float64(p.Resets())}
+			}) {
+				if !t.ok {
 					continue
 				}
-				norms = append(norms, float64(steps)/(float64(n)*float64(n)*math.Log2(float64(n))))
-				resets = append(resets, float64(p.Resets()))
+				norms = append(norms, t.steps/(float64(n)*float64(n)*math.Log2(float64(n))))
+				resets = append(resets, t.resets)
 			}
 			med := stats.Median(norms)
 			fig.Rows = append(fig.Rows, []string{init.name, itoa(n), itoa(len(norms)), f4(med), f2(stats.Mean(resets))})
@@ -133,16 +139,17 @@ func LEShape(opts Options) Figure {
 		lg := math.Log2(float64(n))
 		var norms []float64
 		unique := 0
-		seeds := rng.New(opts.Seed ^ uint64(11*n))
-		for trial := 0; trial < trials; trial++ {
+		for _, t := range runTrials(opts, uint64(11*n), trials, func(_ int, seed uint64) stepsResult {
 			p := leaderelect.New(n)
-			r := sim.New[leaderelect.State](p, p.InitialStates(), seeds.Uint64())
+			r := sim.New[leaderelect.State](p, p.InitialStates(), seed)
 			steps, err := r.RunUntil(leaderelect.UniqueLeaderElected, 0, int64(400*float64(n)*lg*lg))
-			if err != nil {
+			return stepsResult{float64(steps), err == nil}
+		}) {
+			if !t.ok {
 				continue
 			}
 			unique++
-			norms = append(norms, float64(steps)/(float64(n)*lg*lg))
+			norms = append(norms, t.steps/(float64(n)*lg*lg))
 		}
 		fig.Rows = append(fig.Rows, []string{itoa(n), itoa(trials), f2(float64(unique) / float64(trials)), f4(stats.Median(norms))})
 		line.X = append(line.X, lg)
@@ -172,9 +179,9 @@ func FastLESuccess(opts Options) Figure {
 	bound := 1 / (8 * math.E)
 	for _, n := range ns {
 		uniqueC, zeroC, multiC := 0, 0, 0
-		seeds := rng.New(opts.Seed ^ uint64(12*n))
-		for trial := 0; trial < trials; trial++ {
-			leaders := oneShotFastLE(n, seeds.Uint64())
+		for _, leaders := range runTrials(opts, uint64(12*n), trials, func(_ int, seed uint64) int {
+			return oneShotFastLE(n, seed)
+		}) {
 			switch {
 			case leaders == 1:
 				uniqueC++

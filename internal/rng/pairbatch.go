@@ -1,0 +1,131 @@
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// pairBatchCap is the number of pairs produced per refill. Large
+// enough to amortize the state load/store and threshold setup, small
+// enough to stay in L1 (two 512-entry int32 arrays = 4 KiB).
+const pairBatchCap = 512
+
+// PairBatch draws uniformly random ordered pairs of distinct agents
+// over a fixed population size n, in batches. It produces exactly the
+// same sequence of pairs as repeated calls to RNG.Pair(n) on the same
+// generator, but much faster: each refill keeps the xoshiro state in
+// registers for the whole batch and reuses the Lemire rejection
+// thresholds for n and n−1 instead of recomputing them per draw
+// (cf. the batched-share generation in package brng, SNIPPETS.md).
+//
+// The batch draws ahead of consumption, so the underlying RNG must not
+// be shared with other consumers while a PairBatch is attached to it.
+// PairBatch is not safe for concurrent use.
+type PairBatch struct {
+	src              *RNG
+	n                uint64
+	threshN, threshM uint64 // Lemire rejection thresholds for n and n−1
+	i, m             int
+	a, b             [pairBatchCap]int32
+}
+
+// NewPairBatch returns a batched pair sampler over [0, n) drawing from
+// src. It panics if n < 2 or n exceeds the int32 agent-index range.
+func NewPairBatch(src *RNG, n int) *PairBatch {
+	if n < 2 {
+		panic("rng: NewPairBatch called with n < 2")
+	}
+	if n > math.MaxInt32 {
+		panic("rng: NewPairBatch population exceeds int32 index range")
+	}
+	un, um := uint64(n), uint64(n-1)
+	return &PairBatch{
+		src:     src,
+		n:       un,
+		threshN: -un % un,
+		threshM: -um % um,
+	}
+}
+
+// N returns the population size the batch samples over.
+func (pb *PairBatch) N() int { return int(pb.n) }
+
+// Next returns the next uniformly random ordered pair (a, b), a ≠ b.
+func (pb *PairBatch) Next() (a, b int) {
+	if pb.i == pb.m {
+		pb.refill()
+	}
+	a, b = int(pb.a[pb.i]), int(pb.b[pb.i])
+	pb.i++
+	return a, b
+}
+
+// Window returns the unconsumed remainder of the current batch as
+// parallel initiator/responder index slices (refilling first if the
+// batch is exhausted), always at least one pair. The caller must
+// report how many pairs it consumed via Advance before the next
+// Window or Next call.
+func (pb *PairBatch) Window() (a, b []int32) {
+	if pb.i == pb.m {
+		pb.refill()
+	}
+	return pb.a[pb.i:pb.m], pb.b[pb.i:pb.m]
+}
+
+// Advance consumes k pairs of the window returned by Window.
+func (pb *PairBatch) Advance(k int) {
+	if k < 0 || pb.i+k > pb.m {
+		panic("rng: PairBatch.Advance beyond window")
+	}
+	pb.i += k
+}
+
+// refill generates pairBatchCap pairs in one pass, holding the xoshiro
+// state in locals. Draw-for-draw it performs the identical rejection
+// procedure as Pair → Intn, so the emitted pair sequence matches the
+// unbatched API exactly.
+func (pb *PairBatch) refill() {
+	r := pb.src
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	un, um := pb.n, pb.n-1
+	tn, tm := pb.threshN, pb.threshM
+	for k := 0; k < pairBatchCap; k++ {
+		var hi, lo uint64
+		for {
+			v := bits.RotateLeft64(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			hi, lo = bits.Mul64(v, un)
+			if lo >= tn {
+				break
+			}
+		}
+		a := int32(hi)
+		for {
+			v := bits.RotateLeft64(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			hi, lo = bits.Mul64(v, um)
+			if lo >= tm {
+				break
+			}
+		}
+		b := int32(hi)
+		if b >= a {
+			b++
+		}
+		pb.a[k], pb.b[k] = a, b
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+	pb.i, pb.m = 0, pairBatchCap
+}

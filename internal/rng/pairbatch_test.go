@@ -1,0 +1,197 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// Known-answer vectors, locked against the implementation (and, for
+// the zero seed, against the reference xoshiro256** + splitmix64
+// chain: 0x99ec5f36cb75f2b4 is the canonical first output). Any change
+// to the generator silently invalidates every recorded experiment, so
+// these fail loudly instead.
+
+func TestUint64KnownAnswers(t *testing.T) {
+	cases := []struct {
+		seed uint64
+		want []uint64
+	}{
+		{0, []uint64{0x99ec5f36cb75f2b4, 0xbf6e1f784956452a, 0x1a5f849d4933e6e0, 0x6aa594f1262d2d2c, 0xbba5ad4a1f842e59, 0xffef8375d9ebcaca}},
+		{0x5eed, []uint64{0xef33f17055244b74, 0xe1f591112fb5051b, 0xd8ab05640214863a, 0xf985e1f2fb897b03, 0xaf87a5f7e6ce1408, 0x86f28e3a0746ff9e}},
+	}
+	for _, c := range cases {
+		r := New(c.seed)
+		for i, want := range c.want {
+			if got := r.Uint64(); got != want {
+				t.Fatalf("seed %#x draw %d: got %#x want %#x", c.seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestIntnKnownAnswers(t *testing.T) {
+	r := New(0x5eed)
+	want := []int{934, 882, 846, 974, 685, 527, 305, 422}
+	for i, w := range want {
+		if got := r.Intn(1000); got != w {
+			t.Fatalf("Intn(1000) draw %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestPairKnownAnswers(t *testing.T) {
+	r := New(0x5eed)
+	want := [][2]int{{239, 225}, {216, 249}, {175, 134}, {78, 108}, {198, 187}, {44, 173}, {138, 79}, {155, 63}}
+	for i, w := range want {
+		a, b := r.Pair(256)
+		if a != w[0] || b != w[1] {
+			t.Fatalf("Pair(256) draw %d: got (%d, %d) want %v", i, a, b, w)
+		}
+	}
+}
+
+func TestJumpKnownAnswers(t *testing.T) {
+	r := New(1)
+	r.Jump()
+	want := []uint64{0x332802f81eaae9d0, 0x02d18d7749b84f96, 0xc3729a527851f63d, 0x4e6d496401657f6d}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("post-Jump draw %d: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func TestJumpStreamsDisjointPrefix(t *testing.T) {
+	// The jumped stream is the same stream 2¹²⁸ draws later: its
+	// prefix must not collide with a long prefix of the original.
+	base := New(77)
+	jumped := New(77)
+	jumped.Jump()
+	seen := map[uint64]bool{}
+	for i := 0; i < 4096; i++ {
+		seen[base.Uint64()] = true
+	}
+	for i := 0; i < 4096; i++ {
+		if seen[jumped.Uint64()] {
+			t.Fatalf("jumped stream repeated a base draw at offset %d", i)
+		}
+	}
+}
+
+func TestJumpBalanced(t *testing.T) {
+	// Statistical smoke: the jumped stream is still a healthy
+	// generator (bit balance over a large sample).
+	r := New(123)
+	r.Jump()
+	ones := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		v := r.Uint64()
+		for ; v != 0; v &= v - 1 {
+			ones++
+		}
+	}
+	mean := float64(ones) / draws
+	if math.Abs(mean-32) > 0.5 {
+		t.Fatalf("jumped stream mean popcount %.2f, want ≈32", mean)
+	}
+}
+
+func TestSplitBalanced(t *testing.T) {
+	r := New(321)
+	s := r.Split()
+	ones := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		v := s.Uint64()
+		for ; v != 0; v &= v - 1 {
+			ones++
+		}
+	}
+	mean := float64(ones) / draws
+	if math.Abs(mean-32) > 0.5 {
+		t.Fatalf("split stream mean popcount %.2f, want ≈32", mean)
+	}
+}
+
+func TestPairBatchMatchesSequentialPair(t *testing.T) {
+	// The batch must emit the exact pair sequence of unbatched
+	// Pair(n) calls on an identically seeded generator — the property
+	// that makes batching invisible to recorded trajectories.
+	for _, n := range []int{2, 3, 17, 256, 1000} {
+		seq := New(9)
+		pb := NewPairBatch(New(9), n)
+		for i := 0; i < 3*pairBatchCap; i++ {
+			wa, wb := seq.Pair(n)
+			ga, gb := pb.Next()
+			if ga != wa || gb != wb {
+				t.Fatalf("n=%d draw %d: batch (%d, %d) != sequential (%d, %d)", n, i, ga, gb, wa, wb)
+			}
+		}
+	}
+}
+
+func TestPairBatchWindowAdvance(t *testing.T) {
+	seq := New(4)
+	pb := NewPairBatch(New(4), 64)
+	consumed := 0
+	for consumed < 2*pairBatchCap {
+		as, bs := pb.Window()
+		if len(as) == 0 || len(as) != len(bs) {
+			t.Fatalf("window sizes: %d, %d", len(as), len(bs))
+		}
+		// Consume a ragged prefix to exercise partial Advance.
+		k := len(as)/3 + 1
+		for i := 0; i < k; i++ {
+			wa, wb := seq.Pair(64)
+			if int(as[i]) != wa || int(bs[i]) != wb {
+				t.Fatalf("draw %d: window (%d, %d) != sequential (%d, %d)", consumed+i, as[i], bs[i], wa, wb)
+			}
+		}
+		pb.Advance(k)
+		consumed += k
+	}
+}
+
+func TestPairBatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPairBatch(n=1) did not panic")
+		}
+	}()
+	NewPairBatch(New(1), 1)
+}
+
+func TestPairBatchAdvancePanicsBeyondWindow(t *testing.T) {
+	pb := NewPairBatch(New(1), 8)
+	pb.Window()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance beyond window did not panic")
+		}
+	}()
+	pb.Advance(pairBatchCap + 1)
+}
+
+// BenchmarkRNGPair locks in the batching win: Next amortizes state
+// loads and Lemire threshold setup across a 512-pair refill.
+func BenchmarkRNGPair(b *testing.B) {
+	pb := NewPairBatch(New(1), 1024)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		a, c := pb.Next()
+		sink += a + c
+	}
+	_ = sink
+}
+
+// BenchmarkRNGPairUnbatched is the before-side of the comparison.
+func BenchmarkRNGPairUnbatched(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		a, c := r.Pair(1024)
+		sink += a + c
+	}
+	_ = sink
+}

@@ -123,3 +123,26 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
 }
+
+// Jump advances the generator by 2¹²⁸ steps, equivalent to 2¹²⁸ calls
+// to Uint64. It partitions one stream into non-overlapping
+// subsequences of length 2¹²⁸: repeated Jumps yield generators whose
+// streams are guaranteed disjoint (unlike Split, which is disjoint
+// only statistically).
+func (r *RNG) Jump() {
+	// Jump polynomial for xoshiro256** (Blackman & Vigna).
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= r.s0
+				s1 ^= r.s1
+				s2 ^= r.s2
+				s3 ^= r.s3
+			}
+			r.Uint64()
+		}
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}

@@ -1,0 +1,100 @@
+package replicate
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"ssrank/internal/rng"
+)
+
+func TestSeedDependsOnlyOnRootAndTrial(t *testing.T) {
+	a, b := Seed(42, 7), Seed(42, 7)
+	if a != b {
+		t.Fatalf("Seed not deterministic: %d != %d", a, b)
+	}
+	if Seed(42, 7) == Seed(42, 8) || Seed(42, 7) == Seed(43, 7) {
+		t.Fatal("distinct (root, trial) pairs collided")
+	}
+}
+
+func TestSeedsMatchesSeed(t *testing.T) {
+	seeds := Seeds(99, 16)
+	for i, s := range seeds {
+		if s != Seed(99, i) {
+			t.Fatalf("Seeds[%d] = %d, want %d", i, s, Seed(99, i))
+		}
+	}
+}
+
+func TestSeedAvalanche(t *testing.T) {
+	// Adjacent trials must not produce near-identical seeds: over 64
+	// consecutive trials every seed must be distinct and the low bits
+	// must not be constant.
+	seen := map[uint64]bool{}
+	var orLow uint64
+	for i := 0; i < 64; i++ {
+		s := Seed(5, i)
+		if seen[s] {
+			t.Fatalf("duplicate seed at trial %d", i)
+		}
+		seen[s] = true
+		orLow |= s & 0xff
+	}
+	if orLow != 0xff {
+		t.Fatalf("low seed bits not well mixed: OR = %#x", orLow)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want clamp to trials", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Fatalf("Workers(-1, 0) = %d, want 1", got)
+	}
+}
+
+func TestReplicateOrderAndDeterminism(t *testing.T) {
+	run := func(trial int, seed uint64) [2]uint64 {
+		return [2]uint64{uint64(trial), rng.New(seed).Uint64()}
+	}
+	serial := Replicate(1, 64, 7, run)
+	parallel := Replicate(8, 64, 7, run) // forced pool: interleaves even on one core
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d differs: serial %v parallel %v", i, serial[i], parallel[i])
+		}
+		if serial[i][0] != uint64(i) {
+			t.Fatalf("trial %d result out of order: %v", i, serial[i])
+		}
+	}
+}
+
+func TestReplicateRunsEveryTrialOnce(t *testing.T) {
+	var calls [40]atomic.Int32
+	Replicate(4, 40, 1, func(trial int, _ uint64) struct{} {
+		calls[trial].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("trial %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestReplicateEmpty(t *testing.T) {
+	if got := Replicate(4, 0, 1, func(int, uint64) int { return 1 }); got != nil {
+		t.Fatalf("Replicate with 0 trials = %v, want nil", got)
+	}
+}
+
+func BenchmarkReplicateOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Replicate(0, 64, uint64(i), func(trial int, seed uint64) uint64 { return seed })
+	}
+}

@@ -10,6 +10,12 @@
 // All protocol randomness is part of the agent state (the synthetic
 // coin), exactly as in the paper, so a run is a pure function of
 // (initial configuration, scheduler seed).
+//
+// The engine is built for throughput: the Runner is generic over the
+// concrete protocol type, so transitions dispatch without an interface
+// call in the hot loop, and the scheduler consumes agent pairs from a
+// rng.PairBatch, which amortizes random-number generation across
+// batches of 512 interactions.
 package sim
 
 import (
@@ -32,14 +38,21 @@ type Protocol[S any] interface {
 // not hold within the interaction budget.
 var ErrBudgetExhausted = errors.New("sim: interaction budget exhausted before stop condition held")
 
-// Runner executes a protocol over a concrete population.
+// Runner executes a protocol over a concrete population. It is generic
+// over both the state type S and the concrete protocol type P, so the
+// per-interaction Transition call is devirtualized: sim.New infers P
+// from its argument and call sites keep writing sim.New[S](p, ...).
 //
 // The zero value is not usable; construct with New. Runner is not safe
 // for concurrent use.
-type Runner[S any] struct {
-	proto  Protocol[S]
+// The Runner deliberately does not retain the underlying *rng.RNG:
+// the PairBatch draws ahead of consumption, so any other consumer of
+// the same generator would interleave with prefetched pairs and break
+// the deterministic pair stream.
+type Runner[S any, P Protocol[S]] struct {
+	proto  P
 	states []S
-	rng    *rng.RNG
+	pairs  *rng.PairBatch
 	steps  int64
 }
 
@@ -47,25 +60,25 @@ type Runner[S any] struct {
 // slice is owned by the Runner afterwards and must not be mutated by the
 // caller. It panics if fewer than two agents are supplied, since the
 // pairwise interaction model is undefined below n = 2.
-func New[S any](p Protocol[S], states []S, seed uint64) *Runner[S] {
+func New[S any, P Protocol[S]](p P, states []S, seed uint64) *Runner[S, P] {
 	if len(states) < 2 {
 		panic(fmt.Sprintf("sim: population needs at least 2 agents, got %d", len(states)))
 	}
-	return &Runner[S]{proto: p, states: states, rng: rng.New(seed)}
+	return &Runner[S, P]{proto: p, states: states, pairs: rng.NewPairBatch(rng.New(seed), len(states))}
 }
 
 // N returns the population size.
-func (r *Runner[S]) N() int { return len(r.states) }
+func (r *Runner[S, P]) N() int { return len(r.states) }
 
 // Steps returns the number of interactions executed so far.
-func (r *Runner[S]) Steps() int64 { return r.steps }
+func (r *Runner[S, P]) Steps() int64 { return r.steps }
 
 // States returns the live configuration. The caller must treat it as
 // read-only; use Snapshot for a mutable copy.
-func (r *Runner[S]) States() []S { return r.states }
+func (r *Runner[S, P]) States() []S { return r.states }
 
 // Snapshot returns a copy of the current configuration.
-func (r *Runner[S]) Snapshot() []S {
+func (r *Runner[S, P]) Snapshot() []S {
 	out := make([]S, len(r.states))
 	copy(out, r.states)
 	return out
@@ -73,23 +86,30 @@ func (r *Runner[S]) Snapshot() []S {
 
 // SetState overwrites the state of agent i. It is intended for fault
 // injection and adversarial initialization in experiments and tests.
-func (r *Runner[S]) SetState(i int, s S) { r.states[i] = s }
+func (r *Runner[S, P]) SetState(i int, s S) { r.states[i] = s }
 
 // Step executes exactly one interaction.
-func (r *Runner[S]) Step() {
-	a, b := r.rng.Pair(len(r.states))
+func (r *Runner[S, P]) Step() {
+	a, b := r.pairs.Next()
 	r.proto.Transition(&r.states[a], &r.states[b])
 	r.steps++
 }
 
 // Run executes k interactions.
-func (r *Runner[S]) Run(k int64) {
-	n := len(r.states)
-	for i := int64(0); i < k; i++ {
-		a, b := r.rng.Pair(n)
-		r.proto.Transition(&r.states[a], &r.states[b])
+func (r *Runner[S, P]) Run(k int64) {
+	states := r.states
+	for k > 0 {
+		as, bs := r.pairs.Window()
+		if int64(len(as)) > k {
+			as, bs = as[:k], bs[:k]
+		}
+		for i, a := range as {
+			r.proto.Transition(&states[a], &states[bs[i]])
+		}
+		r.pairs.Advance(len(as))
+		r.steps += int64(len(as))
+		k -= int64(len(as))
 	}
-	r.steps += k
 }
 
 // RunUntil executes interactions until stop returns true, polling the
@@ -100,7 +120,11 @@ func (r *Runner[S]) Run(k int64) {
 //
 // The condition is also checked once before the first interaction, so a
 // configuration that already satisfies stop returns immediately.
-func (r *Runner[S]) RunUntil(stop func(states []S) bool, checkEvery, maxSteps int64) (int64, error) {
+//
+// Conditions that can be maintained incrementally should instead be
+// expressed as a Condition and run through RunUntilCond, which stops
+// exactly at the first satisfying interaction.
+func (r *Runner[S, P]) RunUntil(stop func(states []S) bool, checkEvery, maxSteps int64) (int64, error) {
 	if checkEvery < 1 {
 		checkEvery = int64(len(r.states))
 	}
@@ -120,13 +144,50 @@ func (r *Runner[S]) RunUntil(stop func(states []S) bool, checkEvery, maxSteps in
 	return r.steps, ErrBudgetExhausted
 }
 
+// RunUntilCond executes interactions until the incrementally
+// maintained condition reports Done, or maxSteps interactions have
+// been executed (ErrBudgetExhausted). Unlike RunUntil it evaluates the
+// condition after every interaction in O(1) amortized time, so it
+// stops exactly at the first interaction after which the condition
+// holds — no poll-cadence rounding.
+//
+// The condition is initialized from the current configuration and
+// checked once before the first interaction.
+func (r *Runner[S, P]) RunUntilCond(cond Condition[S], maxSteps int64) (int64, error) {
+	cond.Init(r.states)
+	if cond.Done() {
+		return r.steps, nil
+	}
+	states := r.states
+	for r.steps < maxSteps {
+		as, bs := r.pairs.Window()
+		if remaining := maxSteps - r.steps; int64(len(as)) > remaining {
+			as, bs = as[:remaining], bs[:remaining]
+		}
+		for i, a := range as {
+			b := bs[i]
+			r.proto.Transition(&states[a], &states[b])
+			cond.Update(int(a), states)
+			cond.Update(int(b), states)
+			if cond.Done() {
+				r.pairs.Advance(i + 1)
+				r.steps += int64(i + 1)
+				return r.steps, nil
+			}
+		}
+		r.pairs.Advance(len(as))
+		r.steps += int64(len(as))
+	}
+	return r.steps, ErrBudgetExhausted
+}
+
 // RunPairs executes an explicit schedule of ordered (initiator,
 // responder) pairs instead of drawing them uniformly. Self-stabilizing
 // protocols are analyzed under the uniform scheduler, but their
 // *closure* property must hold under every schedule — which is what
 // explicit schedules let tests check. It panics on an out-of-range or
 // degenerate pair.
-func (r *Runner[S]) RunPairs(pairs [][2]int) {
+func (r *Runner[S, P]) RunPairs(pairs [][2]int) {
 	n := len(r.states)
 	for _, pr := range pairs {
 		a, b := pr[0], pr[1]
@@ -156,7 +217,7 @@ func AllOrderedPairs(n int) [][2]int {
 // reached, invoking obs every `every` interactions (and once at step 0,
 // and once at the final step). It is the engine behind the paper's
 // time-series figures. A nil stop runs to maxSteps.
-func (r *Runner[S]) Observe(obs func(steps int64, states []S), every, maxSteps int64, stop func(states []S) bool) int64 {
+func (r *Runner[S, P]) Observe(obs func(steps int64, states []S), every, maxSteps int64, stop func(states []S) bool) int64 {
 	if every < 1 {
 		every = int64(len(r.states))
 	}

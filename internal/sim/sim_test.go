@@ -3,8 +3,6 @@ package sim
 import (
 	"errors"
 	"testing"
-
-	"ssrank/internal/rng"
 )
 
 // counter is a trivial protocol: both agents increment on interaction.
@@ -142,45 +140,6 @@ func TestSetState(t *testing.T) {
 	r.SetState(2, 99)
 	if r.States()[2] != 99 {
 		t.Fatal("SetState did not apply")
-	}
-}
-
-func TestTrialsDeterministicAndOrdered(t *testing.T) {
-	run := func(trial int, r *rng.RNG) TrialResult {
-		return TrialResult{Steps: int64(trial), Converged: true, Aux: r.Float64()}
-	}
-	a := Trials(16, 7, run)
-	b := Trials(16, 7, run)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("trial %d differs across runs: %+v vs %+v", i, a[i], b[i])
-		}
-		if a[i].Steps != int64(i) {
-			t.Fatalf("trial %d result out of order: %+v", i, a[i])
-		}
-	}
-	// Distinct trials must see distinct RNG streams.
-	if a[0].Aux == a[1].Aux {
-		t.Fatal("trials 0 and 1 received identical RNG streams")
-	}
-}
-
-func TestTrialsHelpers(t *testing.T) {
-	rs := []TrialResult{{Steps: 2, Converged: true}, {Steps: 4, Converged: false}}
-	if got := StepsOf(rs); got[0] != 2 || got[1] != 4 {
-		t.Fatalf("StepsOf = %v", got)
-	}
-	if AllConverged(rs) {
-		t.Fatal("AllConverged true with a failed trial")
-	}
-	if f := ConvergedFraction(rs); f != 0.5 {
-		t.Fatalf("ConvergedFraction = %v, want 0.5", f)
-	}
-	if f := ConvergedFraction(nil); f != 0 {
-		t.Fatalf("ConvergedFraction(nil) = %v, want 0", f)
-	}
-	if !AllConverged(nil) {
-		t.Fatal("AllConverged(nil) should be vacuously true")
 	}
 }
 

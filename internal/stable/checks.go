@@ -16,6 +16,17 @@ func Valid(states []State) bool {
 	return true
 }
 
+// RankOf returns the agent's rank, or 0 while unranked — the extractor
+// behind the engine's incremental validity condition
+// (sim.NewRankCond(0, stable.RankOf) tracks Valid in O(1) per
+// interaction).
+func RankOf(s *State) int {
+	if s.Mode != ModeRanked {
+		return 0
+	}
+	return int(s.Rank)
+}
+
 // RankedCount returns the number of ranked agents (the blue series of
 // Fig. 2).
 func RankedCount(states []State) int {

@@ -312,7 +312,7 @@ func runInterval(cfg Config) (Result, error) {
 // injection demos and live exploration.
 type Simulation struct {
 	p     *stable.Protocol
-	r     *sim.Runner[stable.State]
+	r     *sim.Runner[stable.State, *stable.Protocol]
 	fault *rng.RNG
 }
 
