@@ -1,0 +1,160 @@
+// Command benchdiff compares `go test -bench` output against a
+// recorded baseline (BENCH_seed.json) and fails on ns/op regressions —
+// the CI guard for the simulator's hot path:
+//
+//	go test -run '^$' -bench BenchmarkTransition -benchtime=1000x -count=3 . |
+//	    benchdiff -baseline BENCH_seed.json -match '^BenchmarkTransition' -threshold 0.20
+//
+// Benchmark output is read from stdin (or -in). With -count > 1 the
+// minimum ns/op per benchmark is compared — the minimum is the
+// least-noisy estimator of the true cost on a shared CI runner.
+// Benchmarks present in only one of the two sides are reported and
+// skipped; a regression beyond the threshold exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+// baseline mirrors the BENCH_seed.json schema (extra fields ignored).
+type baseline struct {
+	Description string `json:"description"`
+	Benchmarks  []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		basePath  = fs.String("baseline", "BENCH_seed.json", "baseline JSON with {benchmarks: [{name, ns_per_op}]}")
+		in        = fs.String("in", "", "benchmark output file (default: stdin)")
+		match     = fs.String("match", "^BenchmarkTransition", "regexp of benchmark names to compare")
+		threshold = fs.Float64("threshold", 0.20, "fail when ns/op exceeds baseline by more than this fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff: bad -match:", err)
+		return 2
+	}
+
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", *basePath, err)
+		return 2
+	}
+	baseNs := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if re.MatchString(b.Name) {
+			baseNs[b.Name] = b.NsPerOp
+		}
+	}
+
+	input := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		defer f.Close()
+		input = f
+	}
+	text, err := io.ReadAll(input)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	current, err := parseBench(string(text))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(current))
+	for name := range current {
+		if re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmarks in the input match", *match)
+		return 2
+	}
+
+	failed := false
+	for _, name := range names {
+		cur := current[name]
+		ref, ok := baseNs[name]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP %-28s %10.1f ns/op (no baseline entry)\n", name, cur)
+			continue
+		}
+		delete(baseNs, name)
+		change := cur/ref - 1
+		status := "ok  "
+		if change > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%s %-28s %10.1f ns/op vs baseline %10.1f (%+.1f%%, limit +%.0f%%)\n",
+			status, name, cur, ref, 100*change, 100**threshold)
+	}
+	for name := range baseNs {
+		fmt.Fprintf(stdout, "SKIP %-28s not present in the benchmark output\n", name)
+	}
+	if failed {
+		fmt.Fprintln(stdout, "benchdiff: ns/op regression beyond threshold")
+		return 1
+	}
+	return 0
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkTransitionStable-8   1000   675.2 ns/op   0 B/op
+//
+// The -8 GOMAXPROCS suffix is stripped so names line up with the
+// baseline's plain benchmark names.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+
+// parseBench extracts ns/op per benchmark name; repeated runs (from
+// -count > 1) keep the minimum.
+func parseBench(out string) (map[string]float64, error) {
+	res := map[string]float64{}
+	for _, m := range benchLine.FindAllStringSubmatch(out, -1) {
+		name := m[1]
+		var ns float64
+		if _, err := fmt.Sscanf(m[2], "%g", &ns); err != nil {
+			return nil, fmt.Errorf("unparseable ns/op %q for %s", m[2], name)
+		}
+		if old, ok := res[name]; !ok || ns < old {
+			res[name] = ns
+		}
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return res, nil
+}

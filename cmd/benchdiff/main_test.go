@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ssrank
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTransitionStable-8   	    1000	       700.0 ns/op
+BenchmarkTransitionStable-8   	    1000	       650.5 ns/op
+BenchmarkTransitionCore-8     	    1000	       710 ns/op
+BenchmarkTransitionCai-8      	    1000	       380 ns/op
+BenchmarkPublicAPI-8          	       1	   3107962 ns/op
+PASS
+ok  	ssrank	2.153s
+`
+
+func TestParseBenchKeepsMinimum(t *testing.T) {
+	got, err := parseBench(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkTransitionStable": 650.5,
+		"BenchmarkTransitionCore":   710,
+		"BenchmarkTransitionCai":    380,
+		"BenchmarkPublicAPI":        3107962,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v (min across -count runs, -N suffix stripped)", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench("PASS\nok ssrank 1s\n"); err == nil {
+		t.Fatal("expected an error for output without benchmark lines")
+	}
+}
+
+// writeBaseline drops a minimal baseline file and returns its path.
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleBaseline = `{
+  "description": "test baseline",
+  "benchmarks": [
+    {"name": "BenchmarkTransitionStable", "ns_per_op": 673.0},
+    {"name": "BenchmarkTransitionCore", "ns_per_op": 709.0},
+    {"name": "BenchmarkTransitionCai", "ns_per_op": 391.0},
+    {"name": "BenchmarkFigure2", "ns_per_op": 12718406}
+  ]
+}`
+
+func TestRunPassesWithinThreshold(t *testing.T) {
+	base := writeBaseline(t, sampleBaseline)
+	var out, errb strings.Builder
+	code := run(strings.NewReader(sampleOutput), &out, &errb,
+		[]string{"-baseline", base, "-threshold", "0.20"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	// Core is 710 vs 709 (+0.1%): within threshold; Cai improved.
+	if !strings.Contains(out.String(), "ok   BenchmarkTransitionCore") {
+		t.Fatalf("missing ok line for Core:\n%s", out.String())
+	}
+	// The non-Transition baseline entry must not leak into the diff.
+	if strings.Contains(out.String(), "BenchmarkFigure2") {
+		t.Fatalf("unmatched benchmark compared:\n%s", out.String())
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, `{"benchmarks": [{"name": "BenchmarkTransitionCai", "ns_per_op": 100}]}`)
+	var out, errb strings.Builder
+	code := run(strings.NewReader(sampleOutput), &out, &errb,
+		[]string{"-baseline", base, "-match", "^BenchmarkTransitionCai$", "-threshold", "0.20"})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (380 ns/op vs 100 baseline is a 280%% regression)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL BenchmarkTransitionCai") {
+		t.Fatalf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsEmptySelection(t *testing.T) {
+	base := writeBaseline(t, sampleBaseline)
+	var out, errb strings.Builder
+	code := run(strings.NewReader(sampleOutput), &out, &errb,
+		[]string{"-baseline", base, "-match", "^BenchmarkNoSuchThing$"})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 when nothing matches", code)
+	}
+}
+
+// TestRunAgainstRepoBaseline keeps the tool honest against the real
+// BENCH_seed.json schema: the checked-in baseline must parse and
+// contain the BenchmarkTransition* entries CI diffs against.
+func TestRunAgainstRepoBaseline(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(strings.NewReader(sampleOutput), &out, &errb,
+		[]string{"-baseline", "../../BENCH_seed.json", "-threshold", "100"})
+	if code != 0 {
+		t.Fatalf("exit %d against the repo baseline\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, name := range []string{"BenchmarkTransitionStable", "BenchmarkTransitionCore", "BenchmarkTransitionCai"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("repo baseline diff missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -5,10 +5,16 @@
 //	figures -out results/            # full scale, all CPUs
 //	figures -quick -only E1,E2       # scaled down, selected experiments
 //	figures -parallel 1              # serial replications (same output)
+//	figures -e E2 -precision 0.05 -maxtrials 200 -progress
+//	                                 # CI-adaptive: replicate each loop
+//	                                 # until its 95% CI half-width is
+//	                                 # within 5% of the mean
 //
-// Replications fan out over the deterministic parallel engine
-// (internal/sim/replicate): the CSVs are byte-identical for any
-// -parallel value, so the flag only trades wall-clock for cores.
+// Replications stream through the deterministic engine
+// (internal/sim/replicate.ReplicateStream): results commit in trial
+// order, so the CSVs are byte-identical for any -parallel value — with
+// or without -precision stopping — and the flags only trade wall-clock
+// for cores (and trials for certified precision).
 //
 // EXPERIMENTS.md records a full run's output next to the paper's
 // numbers.
@@ -30,19 +36,43 @@ func main() {
 
 func run() int {
 	var (
-		out      = flag.String("out", "results", "directory for CSV output (created if missing)")
-		quick    = flag.Bool("quick", false, "scaled-down experiments (seconds instead of minutes)")
-		only     = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E3); empty = all")
-		seed     = flag.Uint64("seed", 0x5eed, "experiment seed")
-		parallel = flag.Int("parallel", 0, "replication workers: 0 = one per CPU, 1 = serial (output is identical either way)")
+		out       = flag.String("out", "results", "directory for CSV output (created if missing)")
+		quick     = flag.Bool("quick", false, "scaled-down experiments (seconds instead of minutes)")
+		only      = flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E3); empty = all")
+		e         = flag.String("e", "", "alias of -only")
+		seed      = flag.Uint64("seed", 0x5eed, "experiment seed")
+		parallel  = flag.Int("parallel", 0, "replication workers: 0 = one per CPU, 1 = serial (output is identical either way)")
+		precision = flag.Float64("precision", 0, "stop each replication loop once the 95% CI half-width of its statistic falls below this fraction of the mean (0 = fixed trial counts)")
+		maxtrials = flag.Int("maxtrials", 0, "override per-loop replication trial ceilings (0 = generator defaults); raise it to give -precision room")
+		progress  = flag.Bool("progress", false, "stream per-trial replication progress to stderr")
 	)
 	flag.Parse()
 
-	opts := expt.Options{Seed: *seed, Quick: *quick, Workers: *parallel}
+	if *precision < 0 {
+		fmt.Fprintln(os.Stderr, "figures: -precision must be >= 0")
+		return 2
+	}
+	opts := expt.Options{
+		Seed: *seed, Quick: *quick, Workers: *parallel,
+		Precision: *precision, MaxTrials: *maxtrials,
+	}
+	if *progress {
+		opts.Progress = func(p expt.Progress) {
+			fmt.Fprintf(os.Stderr, "%-24s %4d/%-4d mean=%-12.6g ±%.4g\n",
+				p.Label, p.Committed, p.Max, p.Mean, p.CI95)
+		}
+	}
 
+	sel := *only
+	if *e != "" {
+		if sel != "" {
+			sel += ","
+		}
+		sel += *e
+	}
 	ids := make([]string, 0, len(expt.Registry))
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
+	if sel != "" {
+		for _, id := range strings.Split(sel, ",") {
 			id = strings.TrimSpace(id)
 			if expt.Registry[id] == nil {
 				fmt.Fprintf(os.Stderr, "figures: unknown experiment %q\n", id)

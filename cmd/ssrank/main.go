@@ -6,6 +6,9 @@
 // engine and reports aggregate statistics instead:
 //
 //	ssrank -n 256 -trials 32 -parallel 0   # 32 replications, all CPUs
+//	ssrank -n 256 -trials 500 -precision 0.05 -progress
+//	    # stream replications until the 95% CI on the convergence time
+//	    # is within ±5% of its mean (at most 500 trials)
 //
 // It exercises exactly the public API a library user would call.
 package main
@@ -31,21 +34,36 @@ func main() {
 
 func run() int {
 	var (
-		n        = flag.Int("n", 256, "population size (>= 2)")
-		protocol = flag.String("protocol", "stable", "protocol: stable | space-efficient | cai | aware | interval")
-		init     = flag.String("init", "fresh", "initial configuration (stable): fresh | worst-case | random | fig3")
-		seed     = flag.Uint64("seed", 1, "scheduler seed (runs are deterministic per seed)")
-		budget   = flag.Int64("budget", 0, "interaction budget (0 = generous default)")
-		epsilon  = flag.Float64("epsilon", 1.0, "range slack for the interval protocol")
-		verbose  = flag.Bool("v", false, "print the full rank assignment")
-		traceOut = flag.String("trace", "", "write a per-n-interactions CSV time series to this file (stable protocol only)")
-		trials   = flag.Int("trials", 0, "replicate the run this many times and report aggregate statistics")
-		parallel = flag.Int("parallel", 0, "replication workers for -trials: 0 = one per CPU, 1 = serial (results are identical either way)")
+		n         = flag.Int("n", 256, "population size (>= 2)")
+		protocol  = flag.String("protocol", "stable", "protocol: stable | space-efficient | cai | aware | interval")
+		init      = flag.String("init", "fresh", "initial configuration (stable): fresh | worst-case | random | fig3")
+		seed      = flag.Uint64("seed", 1, "scheduler seed (runs are deterministic per seed)")
+		budget    = flag.Int64("budget", 0, "interaction budget (0 = generous default)")
+		epsilon   = flag.Float64("epsilon", 1.0, "range slack for the interval protocol")
+		verbose   = flag.Bool("v", false, "print the full rank assignment")
+		traceOut  = flag.String("trace", "", "write a per-n-interactions CSV time series to this file (stable protocol only)")
+		trials    = flag.Int("trials", 0, "replicate the run this many times and report aggregate statistics")
+		parallel  = flag.Int("parallel", 0, "replication workers for -trials: 0 = one per CPU, 1 = serial (results are identical either way)")
+		precision = flag.Float64("precision", 0, "with -trials: stop replicating once the 95% CI half-width of the convergence time falls below this fraction of the mean")
+		maxtrials = flag.Int("maxtrials", 0, "with -precision: trial ceiling (defaults to -trials)")
+		progress  = flag.Bool("progress", false, "with -trials: stream per-trial progress to stderr")
 	)
 	flag.Parse()
 
 	if *parallel != 0 && *trials <= 0 {
 		fmt.Fprintln(os.Stderr, "ssrank: -parallel only applies to -trials replication sweeps")
+		return 2
+	}
+	if (*precision != 0 || *maxtrials != 0 || *progress) && *trials <= 0 {
+		fmt.Fprintln(os.Stderr, "ssrank: -precision/-maxtrials/-progress apply to -trials replication sweeps")
+		return 2
+	}
+	if *precision < 0 {
+		fmt.Fprintln(os.Stderr, "ssrank: -precision must be >= 0")
+		return 2
+	}
+	if *maxtrials != 0 && *precision == 0 {
+		fmt.Fprintln(os.Stderr, "ssrank: -maxtrials is the -precision trial ceiling; without -precision, set -trials directly")
 		return 2
 	}
 	if *trials > 0 {
@@ -57,13 +75,17 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ssrank: -v applies to single runs only, not -trials aggregates")
 			return 2
 		}
+		ceiling := *trials
+		if *maxtrials > 0 {
+			ceiling = *maxtrials
+		}
 		return runReplicated(ssrank.Config{
 			N:               *n,
 			Protocol:        ssrank.Protocol(*protocol),
 			Init:            ssrank.Init(*init),
 			MaxInteractions: *budget,
 			Epsilon:         *epsilon,
-		}, *seed, *trials, *parallel)
+		}, *seed, ceiling, *parallel, *precision, *progress)
 	}
 
 	if *traceOut != "" {
@@ -114,16 +136,31 @@ func run() int {
 	return 0
 }
 
-// runReplicated fans trials of the configured protocol out over the
+// runReplicated streams trials of the configured protocol through the
 // deterministic replication engine and reports aggregate statistics.
-// Per-trial seeds derive from (seed, trial) only, so the summary is
-// identical at every -parallel setting.
-func runReplicated(cfg ssrank.Config, seed uint64, trials, workers int) int {
+// Per-trial seeds derive from (seed, trial) only and commits happen in
+// trial order, so the summary is identical at every -parallel setting;
+// precision > 0 stops the stream once the 95% CI on the convergence
+// time of converged trials is within ±precision of its mean.
+func runReplicated(cfg ssrank.Config, seed uint64, trials, workers int, precision float64, progress bool) int {
 	type trialR struct {
 		res ssrank.Result
 		err error
 	}
-	results := replicate.Replicate(workers, trials, seed, func(_ int, s uint64) trialR {
+	stream := replicate.Stream[trialR]{Workers: workers, Trials: trials, Root: seed}
+	stat := func(t trialR) (float64, bool) {
+		return float64(t.res.Interactions), t.res.Converged
+	}
+	if progress {
+		stream.OnCommit = func(c replicate.Commit[trialR]) {
+			fmt.Fprintf(os.Stderr, "trial %4d/%-4d converged=%-5t interactions=%d\n",
+				c.Committed, trials, c.Result.res.Converged, c.Result.res.Interactions)
+		}
+	}
+	if precision > 0 {
+		stream.Stop = replicate.StopFunc(replicate.Precision{Rel: precision}, stat)
+	}
+	results := replicate.ReplicateStream(stream, func(_ int, s uint64) trialR {
 		c := cfg
 		c.Seed = s
 		res, err := ssrank.Run(c)
@@ -143,9 +180,10 @@ func runReplicated(cfg ssrank.Config, seed uint64, trials, workers int) int {
 			resets = append(resets, float64(t.res.Resets))
 		}
 	}
-	fmt.Printf("protocol=%s n=%d seed=%d trials=%d workers=%d\n",
-		cfg.Protocol, cfg.N, seed, trials, replicate.Workers(workers, trials))
-	fmt.Printf("converged=%d/%d\n", converged, trials)
+	ran := len(results)
+	fmt.Printf("protocol=%s n=%d seed=%d trials=%d/%d workers=%d\n",
+		cfg.Protocol, cfg.N, seed, ran, trials, replicate.Workers(workers, trials))
+	fmt.Printf("converged=%d/%d\n", converged, ran)
 	if converged > 0 {
 		med := stats.Median(steps)
 		mean, ci := stats.MeanCI95(steps)
@@ -155,7 +193,7 @@ func runReplicated(cfg ssrank.Config, seed uint64, trials, workers int) int {
 			fmt.Printf("mean resets=%.2f\n", m)
 		}
 	}
-	if converged < trials {
+	if converged < ran {
 		fmt.Println("warning: some replications exhausted their budget")
 		return 1
 	}

@@ -42,18 +42,28 @@ func AblationCWait(opts Options) Figure {
 		norm := float64(n) * float64(n) * math.Log2(float64(n))
 
 		// Non-self-stabilizing protocol: count silent-but-invalid
-		// outcomes.
+		// outcomes. The statistic is the failure indicator — the rate
+		// is the quantity the ablation plots, so precision stopping
+		// targets it directly.
 		invalid := 0
 		var coreNorms []float64
-		for _, t := range runTrials(opts, uint64(cw*100)^0x8, trials, func(_ int, seed uint64) stepsResult {
-			p := core.New(n, core.Params{CWait: cw})
-			r := sim.New[core.State](p, p.InitialStates(), seed)
-			stop := func(ss []core.State) bool { return core.Silent(ss) }
-			if _, err := r.RunUntil(stop, 0, budget(n, 300)); err != nil {
-				return stepsResult{0, false} // never went silent: also a failure
-			}
-			return stepsResult{float64(r.Steps()), core.Valid(r.States())}
-		}) {
+		coreRes := runTrialsStat(opts, fmt.Sprintf("E8 core c_wait=%.2g", cw), uint64(cw*100)^0x8, trials,
+			func(t stepsResult) (float64, bool) {
+				if t.ok {
+					return 0, true
+				}
+				return 1, true
+			},
+			func(_ int, seed uint64) stepsResult {
+				p := core.New(n, core.Params{CWait: cw})
+				r := sim.New[core.State](p, p.InitialStates(), seed)
+				stop := func(ss []core.State) bool { return core.Silent(ss) }
+				if _, err := r.RunUntil(stop, 0, budget(n, 300)); err != nil {
+					return stepsResult{0, false} // never went silent: also a failure
+				}
+				return stepsResult{float64(r.Steps()), core.Valid(r.States())}
+			})
+		for _, t := range coreRes {
 			if t.ok {
 				coreNorms = append(coreNorms, t.steps/norm)
 			} else {
@@ -67,14 +77,16 @@ func AblationCWait(opts Options) Figure {
 			resets float64
 		}
 		var stNorms, stRe []float64
-		for _, t := range runTrials(opts, uint64(cw*100)^0x8a5, trials/2, func(_ int, seed uint64) trialR {
-			params := stable.DefaultParams()
-			params.CWait = cw
-			p := stable.New(n, params)
-			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			_, err := r.RunUntil(stable.Valid, 0, budget(n, 5000))
-			return trialR{stepsResult{float64(r.Steps()), err == nil}, float64(p.Resets())}
-		}) {
+		for _, t := range runTrialsStat(opts, fmt.Sprintf("E8 stable c_wait=%.2g", cw), uint64(cw*100)^0x8a5, trials/2,
+			func(t trialR) (float64, bool) { return t.steps, t.ok },
+			func(_ int, seed uint64) trialR {
+				params := stable.DefaultParams()
+				params.CWait = cw
+				p := stable.New(n, params)
+				r := sim.New[stable.State](p, p.InitialStates(), seed)
+				_, err := r.RunUntil(stable.Valid, 0, budget(n, 5000))
+				return trialR{stepsResult{float64(r.Steps()), err == nil}, float64(p.Resets())}
+			}) {
 			if !t.ok {
 				continue
 			}
@@ -82,7 +94,7 @@ func AblationCWait(opts Options) Figure {
 			stRe = append(stRe, t.resets)
 		}
 
-		invalidRate := float64(invalid) / float64(trials)
+		invalidRate := float64(invalid) / float64(len(coreRes))
 		fig.Rows = append(fig.Rows, []string{
 			f2(cw), f2(invalidRate), f4(stats.Median(coreNorms)),
 			f2(stats.Mean(stRe)), f4(stats.Median(stNorms)),
@@ -118,14 +130,15 @@ func CoinBalance(opts Options) Figure {
 	paperLine := plot.Series{Name: "paper bound n/(4 log n)"}
 	sqrtLine := plot.Series{Name: "sqrt(n)"}
 	for _, n := range ns {
-		imb := runTrials(opts, uint64(9*n), trials, func(_ int, seed uint64) float64 {
-			p := coin.NewPopulation(coin.AllZero(n), seed)
-			p.Step(4 * coin.WarmupInteractions(n))
-			return float64(p.Imbalance())
-		})
+		imb := runTrialsStat(opts, fmt.Sprintf("E9 n=%d", n), uint64(9*n), trials, statIdent,
+			func(_ int, seed uint64) float64 {
+				p := coin.NewPopulation(coin.AllZero(n), seed)
+				p.Step(4 * coin.WarmupInteractions(n))
+				return float64(p.Imbalance())
+			})
 		pb := coin.BalanceBound(n)
 		fig.Rows = append(fig.Rows, []string{
-			itoa(n), itoa(trials), f2(stats.Mean(imb)), f2(stats.Quantile(imb, 0.95)), f2(pb), f2(math.Sqrt(float64(n))),
+			itoa(n), itoa(len(imb)), f2(stats.Mean(imb)), f2(stats.Quantile(imb, 0.95)), f2(pb), f2(math.Sqrt(float64(n))),
 		})
 		lg := math.Log2(float64(n))
 		meanLine.X = append(meanLine.X, lg)

@@ -49,43 +49,46 @@ func AblationResetWave(opts Options) Figure {
 		}
 		covered := 0
 		var waves, norms, resets []float64
-		for _, t := range runTrials(opts, uint64(f*1000)^0xe15, trials, func(_ int, seed uint64) trialR {
-			var out trialR
-			// Phase 1: wave coverage. Trigger one agent of a fully
-			// ranked (legal) population and watch whether every agent
-			// leaves the main protocol before any returns to it.
-			p := stable.New(n, params)
-			states := make([]stable.State, n)
-			for i := range states {
-				states[i] = stable.Ranked(int32(i + 1))
-			}
-			p.TriggerReset(&states[0])
-			r := sim.New[stable.State](p, states, seed)
-			fullyOut := func(ss []stable.State) bool {
-				for i := range ss {
-					if ss[i].IsMain() {
-						return false
-					}
+		res := runTrialsStat(opts, fmt.Sprintf("E15 factor=%.2g", f), uint64(f*1000)^0xe15, trials,
+			func(t trialR) (float64, bool) { return t.norm, t.stabilized },
+			func(_ int, seed uint64) trialR {
+				var out trialR
+				// Phase 1: wave coverage. Trigger one agent of a fully
+				// ranked (legal) population and watch whether every agent
+				// leaves the main protocol before any returns to it.
+				p := stable.New(n, params)
+				states := make([]stable.State, n)
+				for i := range states {
+					states[i] = stable.Ranked(int32(i + 1))
 				}
-				return true
-			}
-			waveBudget := int64(200 * float64(n) * math.Log2(float64(n)) * (f + 1))
-			if steps, err := r.RunUntil(fullyOut, 0, waveBudget); err == nil {
-				out.covered = true
-				out.wave = float64(steps) / (float64(n) * math.Log2(float64(n)))
-			}
+				p.TriggerReset(&states[0])
+				r := sim.New[stable.State](p, states, seed)
+				fullyOut := func(ss []stable.State) bool {
+					for i := range ss {
+						if ss[i].IsMain() {
+							return false
+						}
+					}
+					return true
+				}
+				waveBudget := int64(200 * float64(n) * math.Log2(float64(n)) * (f + 1))
+				if steps, err := r.RunUntil(fullyOut, 0, waveBudget); err == nil {
+					out.covered = true
+					out.wave = float64(steps) / (float64(n) * math.Log2(float64(n)))
+				}
 
-			// Phase 2: end-to-end stabilization cost with these
-			// constants, from the worst-case start.
-			p2 := stable.New(n, params)
-			r2 := sim.New[stable.State](p2, p2.WorstCaseInit(), seed^0x9e15)
-			if s2, err := r2.RunUntil(stable.Valid, 0, budget(n, 5000)); err == nil {
-				out.stabilized = true
-				out.norm = float64(s2) / (float64(n) * float64(n) * math.Log2(float64(n)))
-				out.resets = float64(p2.Resets())
-			}
-			return out
-		}) {
+				// Phase 2: end-to-end stabilization cost with these
+				// constants, from the worst-case start.
+				p2 := stable.New(n, params)
+				r2 := sim.New[stable.State](p2, p2.WorstCaseInit(), seed^0x9e15)
+				if s2, err := r2.RunUntil(stable.Valid, 0, budget(n, 5000)); err == nil {
+					out.stabilized = true
+					out.norm = float64(s2) / (float64(n) * float64(n) * math.Log2(float64(n)))
+					out.resets = float64(p2.Resets())
+				}
+				return out
+			})
+		for _, t := range res {
 			if t.covered {
 				covered++
 				waves = append(waves, t.wave)
@@ -95,7 +98,7 @@ func AblationResetWave(opts Options) Figure {
 				resets = append(resets, t.resets)
 			}
 		}
-		covRate := float64(covered) / float64(trials)
+		covRate := float64(covered) / float64(len(res))
 		medNorm := stats.Median(norms)
 		fig.Rows = append(fig.Rows, []string{
 			f2(f), f2(covRate), f4(stats.Median(waves)), f4(medNorm), f2(stats.Mean(resets)),
@@ -139,13 +142,15 @@ func AblationLEBudget(opts Options) Figure {
 			leResets, resets float64
 		}
 		var leResets, total, norms []float64
-		for _, t := range runTrials(opts, uint64(f*100)^0xe16, trials, func(_ int, seed uint64) trialR {
-			p := stable.New(n, params)
-			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			s, err := r.RunUntil(stable.Valid, 0, budget(n, 5000))
-			return trialR{stepsResult{float64(s), err == nil},
-				float64(p.ResetsFor(stable.ReasonLEExpired)), float64(p.Resets())}
-		}) {
+		for _, t := range runTrialsStat(opts, fmt.Sprintf("E16 factor=%.2g", f), uint64(f*100)^0xe16, trials,
+			func(t trialR) (float64, bool) { return t.steps, t.ok },
+			func(_ int, seed uint64) trialR {
+				p := stable.New(n, params)
+				r := sim.New[stable.State](p, p.InitialStates(), seed)
+				s, err := r.RunUntil(stable.Valid, 0, budget(n, 5000))
+				return trialR{stepsResult{float64(s), err == nil},
+					float64(p.ResetsFor(stable.ReasonLEExpired)), float64(p.Resets())}
+			}) {
 			if t.ok {
 				norms = append(norms, t.steps/(float64(n)*float64(n)*math.Log2(float64(n))))
 				leResets = append(leResets, t.leResets)

@@ -41,13 +41,24 @@ func BaselineComparison(opts Options) Figure {
 	for _, n := range ns {
 		lg := math.Log2(float64(n))
 
-		var caiTimes []float64
-		for _, t := range runTrials(opts, uint64(61*n)^0xca1, trials, func(_ int, seed uint64) stepsResult {
+		// cai is where the pilot budget earns its keep: the hard
+		// ceiling is 2000·n³ interactions, so a single non-converging
+		// trial at n=256 would cost more than the whole sweep.
+		caiLabel := fmt.Sprintf("E6 cai n=%d", n)
+		caiOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := cai.New(n)
 			r := sim.New[cai.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(cai.Valid, 0, int64(2000)*int64(n)*int64(n)*int64(n))
-			return stepsResult{float64(steps), err == nil}
-		}) {
+			steps, err := r.RunUntil(cai.Valid, 0, cap)
+			return steps, err == nil
+		}
+		caiBud := pilotBudget(opts, caiLabel, uint64(61*n)^0xca1,
+			int64(2000)*int64(n)*int64(n)*int64(n), caiOnce)
+		var caiTimes []float64
+		for _, t := range runTrialsStat(opts, caiLabel, uint64(61*n)^0xca1, trials, statSteps,
+			func(_ int, seed uint64) stepsResult {
+				steps, ok := caiOnce(seed, caiBud)
+				return stepsResult{float64(steps), ok}
+			}) {
 			if t.ok {
 				caiTimes = append(caiTimes, t.steps)
 			}
@@ -59,13 +70,20 @@ func BaselineComparison(opts Options) Figure {
 		caiX = append(caiX, float64(n))
 		caiY = append(caiY, med)
 
-		var stTimes []float64
-		for _, t := range runTrials(opts, uint64(61*n)^0x57ab1e, trials, func(_ int, seed uint64) stepsResult {
+		stLabel := fmt.Sprintf("E6 stable n=%d", n)
+		stOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := stable.New(n, stable.DefaultParams())
 			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000))
-			return stepsResult{float64(steps), err == nil}
-		}) {
+			steps, err := r.RunUntil(stable.Valid, 0, cap)
+			return steps, err == nil
+		}
+		stBud := pilotBudget(opts, stLabel, uint64(61*n)^0x57ab1e, budget(n, 3000), stOnce)
+		var stTimes []float64
+		for _, t := range runTrialsStat(opts, stLabel, uint64(61*n)^0x57ab1e, trials, statSteps,
+			func(_ int, seed uint64) stepsResult {
+				steps, ok := stOnce(seed, stBud)
+				return stepsResult{float64(steps), ok}
+			}) {
 			if t.ok {
 				stTimes = append(stTimes, t.steps)
 			}
@@ -117,13 +135,20 @@ func TradeoffEpsilon(opts Options) Figure {
 	bound := plot.Series{Name: "lower bound n(n-1)/(2(r+1))"}
 	for _, eps := range epsilons {
 		p := interval.New(n, eps)
-		var times []float64
-		for _, t := range runTrials(opts, uint64(eps*1000)^uint64(n), trials, func(_ int, seed uint64) stepsResult {
+		label := fmt.Sprintf("E7 eps=%.2f", eps)
+		runOnce := func(seed uint64, cap int64) (int64, bool) {
 			pt := interval.New(n, eps)
 			r := sim.New[interval.State](pt, pt.InitialStates(), seed)
-			steps, err := r.RunUntil(interval.Valid, 0, int64(5000)*int64(n)*int64(n))
-			return stepsResult{float64(steps), err == nil}
-		}) {
+			steps, err := r.RunUntil(interval.Valid, 0, cap)
+			return steps, err == nil
+		}
+		bud := pilotBudget(opts, label, uint64(eps*1000)^uint64(n), int64(5000)*int64(n)*int64(n), runOnce)
+		var times []float64
+		for _, t := range runTrialsStat(opts, label, uint64(eps*1000)^uint64(n), trials, statSteps,
+			func(_ int, seed uint64) stepsResult {
+				steps, ok := runOnce(seed, bud)
+				return stepsResult{float64(steps), ok}
+			}) {
 			if t.ok {
 				times = append(times, t.steps)
 			}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"math"
 
 	"ssrank/internal/epidemic"
@@ -37,16 +38,17 @@ func EpidemicTail(opts Options) Figure {
 		}
 		bound := epidemic.Bound(n, m, 1)
 		violations := 0
-		times := runTrials(opts, uint64(13*m), trials, func(_ int, seed uint64) float64 {
-			return float64(epidemic.CompletionTime(n, m, rng.New(seed)))
-		})
+		times := runTrialsStat(opts, fmt.Sprintf("E13 m=%d", m), uint64(13*m), trials, statIdent,
+			func(_ int, seed uint64) float64 {
+				return float64(epidemic.CompletionTime(n, m, rng.New(seed)))
+			})
 		for _, t := range times {
 			if t > bound {
 				violations++
 			}
 		}
 		fig.Rows = append(fig.Rows, []string{
-			itoa(m), itoa(trials), f4(stats.Mean(times)), f4(stats.Quantile(times, 0.99)), f4(bound), itoa(violations),
+			itoa(m), itoa(len(times)), f4(stats.Mean(times)), f4(stats.Quantile(times, 0.99)), f4(bound), itoa(violations),
 		})
 		meanLine.X = append(meanLine.X, math.Log2(float64(m)))
 		meanLine.Y = append(meanLine.Y, math.Log2(stats.Mean(times)))

@@ -17,6 +17,7 @@ import (
 
 	"ssrank/internal/plot"
 	"ssrank/internal/sim/replicate"
+	"ssrank/internal/stats"
 )
 
 // Options control experiment scale.
@@ -30,6 +31,40 @@ type Options struct {
 	// Workers bounds the replication worker pool: < 1 means one worker
 	// per CPU, 1 forces serial execution. Results do not depend on it.
 	Workers int
+	// Precision, when > 0, enables CI-adaptive stopping: each
+	// replication loop that designates a statistic stops as soon as
+	// the 95% CI half-width of that statistic falls below
+	// Precision·|mean| (never before replicate.DefaultMinTrials
+	// commits, never after the loop's trial ceiling). The stop
+	// decision is a pure function of the committed trial prefix, so
+	// results stay bit-identical at any Workers setting.
+	Precision float64
+	// MaxTrials, when > 0, overrides every replication loop's trial
+	// ceiling — raise it to give Precision room beyond the small
+	// fixed defaults, or lower it for smoke runs. Structural fan-outs
+	// (one slot per n, or the single pinned E1 trajectory) are not
+	// affected.
+	MaxTrials int
+	// Progress, when non-nil, receives one event per committed trial
+	// of every replication loop, in trial order, on the generator's
+	// goroutine. Reporting is observational: it must not (and cannot)
+	// influence results.
+	Progress func(Progress)
+}
+
+// Progress is one committed-trial event of a replication loop.
+type Progress struct {
+	// Label identifies the loop, e.g. "E4 n=256".
+	Label string
+	// Trial is the committed trial index; Committed = Trial+1 trials
+	// are done of at most Max.
+	Trial     int
+	Committed int
+	Max       int
+	// Mean and CI95 track the loop statistic over the committed
+	// prefix (Mean is NaN for loops without a statistic).
+	Mean float64
+	CI95 float64
 }
 
 // DefaultOptions returns the full-scale configuration.
@@ -111,14 +146,68 @@ var Registry = map[string]func(Options) Figure{
 	"E18": LooseVsSilent,
 }
 
-// runTrials fans one generator's replication loop out over the
-// parallel engine. salt decorrelates the several loops of one
+// runTrials fans a fixed work list out over the streaming engine —
+// the structural variant (one slot per population size, or E1's single
+// pinned trajectory) where the trial count is part of the experiment's
+// shape. It streams and reports progress but ignores Precision and
+// MaxTrials: stopping a structural fan-out early would drop work
+// items, not replications. salt decorrelates the several loops of one
 // experiment from each other; every trial's randomness must derive
 // from the seed passed to run, which depends only on (Options.Seed,
 // salt, trial) — never on scheduling order.
-func runTrials[R any](o Options, salt uint64, trials int, run func(trial int, seed uint64) R) []R {
-	return replicate.Replicate(o.Workers, trials, o.Seed^salt, run)
+func runTrials[R any](o Options, label string, salt uint64, trials int, run func(trial int, seed uint64) R) []R {
+	return streamTrials(o, label, salt, trials, nil, run)
 }
+
+// runTrialsStat is the replication-loop variant: trials are
+// exchangeable repetitions and stat designates the loop's primary
+// statistic (ok=false excludes a trial, e.g. one that exhausted its
+// budget). It honors Options.MaxTrials as the ceiling and
+// Options.Precision for CI-adaptive stopping, returning the committed
+// prefix.
+func runTrialsStat[R any](o Options, label string, salt uint64, trials int, stat func(R) (float64, bool), run func(trial int, seed uint64) R) []R {
+	if o.MaxTrials > 0 {
+		trials = o.MaxTrials
+	}
+	return streamTrials(o, label, salt, trials, stat, run)
+}
+
+// streamTrials drives one loop through replicate.ReplicateStream,
+// sharing a single Welford accumulator between the progress reports
+// and the precision stop rule so both read the same committed prefix.
+func streamTrials[R any](o Options, label string, salt uint64, trials int, stat func(R) (float64, bool), run func(trial int, seed uint64) R) []R {
+	s := replicate.Stream[R]{Workers: o.Workers, Trials: trials, Root: o.Seed ^ salt}
+	var acc stats.Running
+	if stat != nil || o.Progress != nil {
+		s.OnCommit = func(c replicate.Commit[R]) {
+			if stat != nil {
+				if v, ok := stat(c.Result); ok {
+					acc.Add(v)
+				}
+			}
+			if o.Progress != nil {
+				o.Progress(Progress{
+					Label: label, Trial: c.Trial, Committed: c.Committed, Max: trials,
+					Mean: acc.Mean(), CI95: acc.CI95Half(),
+				})
+			}
+		}
+	}
+	if o.Precision > 0 && stat != nil {
+		policy := replicate.Precision{Rel: o.Precision}
+		s.Stop = func(c replicate.Commit[R]) bool {
+			return policy.Met(&acc)
+		}
+	}
+	return replicate.ReplicateStream(s, run)
+}
+
+// statSteps designates a stabilization loop's interaction count as its
+// statistic, excluding trials that never converged.
+func statSteps(t stepsResult) (float64, bool) { return t.steps, t.ok }
+
+// statIdent designates the trial result itself as the statistic.
+func statIdent(v float64) (float64, bool) { return v, true }
 
 // stepsResult is the common per-trial outcome of a stabilization run.
 type stepsResult struct {

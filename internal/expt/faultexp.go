@@ -41,29 +41,32 @@ func FaultRecovery(opts Options) Figure {
 		}
 		var norms, resets []float64
 		recovered := 0
-		for _, t := range runTrials(opts, uint64(10*k+n), trials, func(_ int, seed uint64) trialR {
-			p := stable.New(n, stable.DefaultParams())
-			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			if _, err := r.RunUntil(stable.Valid, 0, budget(n, 3000)); err != nil {
-				return trialR{}
-			}
-			start := r.Steps()
-			faults.Corrupt(r.States(), k, rng.New(seed^0xfa017), p.RandomState)
-			if stable.Valid(r.States()) {
-				// The corruption happened to preserve the permutation
-				// (possible for tiny k); recovery time is zero.
-				return trialR{recovered: true}
-			}
-			if _, err := r.RunUntil(stable.Valid, 0, start+budget(n, 3000)); err != nil {
-				return trialR{}
-			}
-			return trialR{
-				recovered: true,
-				norm:      float64(r.Steps()-start) / (float64(n) * float64(n) * math.Log2(float64(n))),
-				resets:    float64(p.Resets()),
-				hasResets: true,
-			}
-		}) {
+		res := runTrialsStat(opts, fmt.Sprintf("E10 k=%d", k), uint64(10*k+n), trials,
+			func(t trialR) (float64, bool) { return t.norm, t.recovered },
+			func(_ int, seed uint64) trialR {
+				p := stable.New(n, stable.DefaultParams())
+				r := sim.New[stable.State](p, p.InitialStates(), seed)
+				if _, err := r.RunUntil(stable.Valid, 0, budget(n, 3000)); err != nil {
+					return trialR{}
+				}
+				start := r.Steps()
+				faults.Corrupt(r.States(), k, rng.New(seed^0xfa017), p.RandomState)
+				if stable.Valid(r.States()) {
+					// The corruption happened to preserve the permutation
+					// (possible for tiny k); recovery time is zero.
+					return trialR{recovered: true}
+				}
+				if _, err := r.RunUntil(stable.Valid, 0, start+budget(n, 3000)); err != nil {
+					return trialR{}
+				}
+				return trialR{
+					recovered: true,
+					norm:      float64(r.Steps()-start) / (float64(n) * float64(n) * math.Log2(float64(n))),
+					resets:    float64(p.Resets()),
+					hasResets: true,
+				}
+			})
+		for _, t := range res {
 			if !t.recovered {
 				continue
 			}
@@ -74,7 +77,7 @@ func FaultRecovery(opts Options) Figure {
 			}
 		}
 		fig.Rows = append(fig.Rows, []string{
-			itoa(k), itoa(trials), itoa(recovered), f4(stats.Median(norms)), f2(stats.Mean(resets)),
+			itoa(k), itoa(len(res)), itoa(recovered), f4(stats.Median(norms)), f2(stats.Mean(resets)),
 		})
 		line.X = append(line.X, float64(k))
 		line.Y = append(line.Y, stats.Median(norms))
@@ -120,20 +123,23 @@ func DeadConfigReset(opts Options) Figure {
 		}
 		var detect, total []float64
 		reasons := map[string]int64{}
-		for _, t := range runTrials(opts, uint64(14*n)^uint64(ci)<<8, trials, func(_ int, seed uint64) trialR {
-			p := stable.New(n, stable.DefaultParams())
-			r := sim.New[stable.State](p, cfg.make(p), seed)
-			steps, err := r.RunUntil(func([]stable.State) bool { return p.Resets() > 0 }, 0, budget(n, 3000))
-			if err != nil {
-				return trialR{}
-			}
-			norm := float64(n) * float64(n) * math.Log2(float64(n))
-			out := trialR{detected: true, detect: float64(steps) / norm, breakdown: p.ResetBreakdown()}
-			if _, err := r.RunUntil(stable.Valid, 0, steps+budget(n, 3000)); err == nil {
-				out.total, out.hasTotal = float64(r.Steps())/norm, true
-			}
-			return out
-		}) {
+		e14res := runTrialsStat(opts, fmt.Sprintf("E14 %s", cfg.name), uint64(14*n)^uint64(ci)<<8, trials,
+			func(t trialR) (float64, bool) { return t.detect, t.detected },
+			func(_ int, seed uint64) trialR {
+				p := stable.New(n, stable.DefaultParams())
+				r := sim.New[stable.State](p, cfg.make(p), seed)
+				steps, err := r.RunUntil(func([]stable.State) bool { return p.Resets() > 0 }, 0, budget(n, 3000))
+				if err != nil {
+					return trialR{}
+				}
+				norm := float64(n) * float64(n) * math.Log2(float64(n))
+				out := trialR{detected: true, detect: float64(steps) / norm, breakdown: p.ResetBreakdown()}
+				if _, err := r.RunUntil(stable.Valid, 0, steps+budget(n, 3000)); err == nil {
+					out.total, out.hasTotal = float64(r.Steps())/norm, true
+				}
+				return out
+			})
+		for _, t := range e14res {
 			if !t.detected {
 				continue
 			}
@@ -152,7 +158,7 @@ func DeadConfigReset(opts Options) Figure {
 			}
 		}
 		fig.Rows = append(fig.Rows, []string{
-			cfg.name, itoa(trials), f4(stats.Median(detect)), f4(stats.Median(total)), dominant,
+			cfg.name, itoa(len(e14res)), f4(stats.Median(detect)), f4(stats.Median(total)), dominant,
 		})
 	}
 	fig.ASCII = plot.Table(fig.Header, fig.Rows)

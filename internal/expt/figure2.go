@@ -39,7 +39,7 @@ func Figure2(opts Options) Figure {
 	// engine's per-trial derivation would re-seed the one figure the
 	// paper pins to a specific worst-case run); the replication engine
 	// still hosts it so every generator shares one execution path.
-	res := runTrials(opts, 0, 1, func(int, uint64) fig2run {
+	res := runTrials(opts, "E1", 0, 1, func(int, uint64) fig2run {
 		p := stable.New(n, stable.DefaultParams())
 		r := sim.New[stable.State](p, p.WorstCaseInit(), opts.Seed)
 		out := fig2run{stabilizedAt: -1}

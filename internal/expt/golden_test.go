@@ -1,0 +1,56 @@
+package expt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden figure CSVs under testdata/")
+
+// TestGoldenFigureCSV pins the E1 and E6 quick-scale CSVs at the
+// default seed as golden files: any engine, seed-derivation, budget,
+// or migration change that perturbs experiment output fails tier-1
+// tests here instead of silently shifting published numbers. After an
+// *intentional* output change, regenerate with
+//
+//	go test ./internal/expt/ -run TestGoldenFigureCSV -update
+//
+// and review the CSV diff like code. E1 is the single pinned
+// worst-case trajectory (seeded directly by Options.Seed), E6 a
+// multi-protocol replication sweep with pilot-derived budgets —
+// between them they cover both seeding paths and the adaptive-budget
+// derivation.
+func TestGoldenFigureCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	for _, tc := range []struct {
+		golden string
+		gen    func(Options) Figure
+	}{
+		{"e1_quick.golden.csv", Figure2},
+		{"e6_quick.golden.csv", BaselineComparison},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			t.Parallel()
+			got := tc.gen(QuickOptions()).CSV()
+			path := filepath.Join("testdata", tc.golden)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s: CSV drifted from the golden file.\n--- want\n%s\n--- got\n%s\nIf the change is intentional, regenerate with -update and review the diff.",
+					tc.golden, want, got)
+			}
+		})
+	}
+}

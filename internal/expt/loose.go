@@ -53,25 +53,27 @@ func LooseVsSilent(opts Options) Figure {
 		}
 		var convs []float64
 		survived := 0
-		for _, t := range runTrials(opts, uint64(18*n), trials, func(_ int, seed uint64) looseR {
-			p := sudo.New(n, 8)
-			r := sim.New[sudo.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(sudo.UniqueLeader, 0, int64(1000*float64(n)*lg))
-			if err != nil {
-				return looseR{}
-			}
-			out := looseR{stepsResult{float64(steps), true}, true}
-			// Holding probe: does the unique leader survive the budget?
-			probe := int64(holdBudgetFactor * float64(n) * lg / 100)
-			for i := 0; i < 100; i++ {
-				r.Run(probe)
-				if !sudo.UniqueLeader(r.States()) {
-					out.held = false
-					break
+		for _, t := range runTrialsStat(opts, fmt.Sprintf("E18 loose n=%d", n), uint64(18*n), trials,
+			func(t looseR) (float64, bool) { return t.steps, t.ok },
+			func(_ int, seed uint64) looseR {
+				p := sudo.New(n, 8)
+				r := sim.New[sudo.State](p, p.InitialStates(), seed)
+				steps, err := r.RunUntil(sudo.UniqueLeader, 0, int64(1000*float64(n)*lg))
+				if err != nil {
+					return looseR{}
 				}
-			}
-			return out
-		}) {
+				out := looseR{stepsResult{float64(steps), true}, true}
+				// Holding probe: does the unique leader survive the budget?
+				probe := int64(holdBudgetFactor * float64(n) * lg / 100)
+				for i := 0; i < 100; i++ {
+					r.Run(probe)
+					if !sudo.UniqueLeader(r.States()) {
+						out.held = false
+						break
+					}
+				}
+				return out
+			}) {
 			if !t.ok {
 				continue
 			}
@@ -83,13 +85,20 @@ func LooseVsSilent(opts Options) Figure {
 
 		// Silent (the paper's protocol): convergence to a valid ranking
 		// = permanent leader.
-		var silentConvs []float64
-		for _, t := range runTrials(opts, uint64(18*n)^0x511e47, trials/2+1, func(_ int, seed uint64) stepsResult {
+		silentLabel := fmt.Sprintf("E18 silent n=%d", n)
+		silentOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := stable.New(n, stable.DefaultParams())
 			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000))
-			return stepsResult{float64(steps), err == nil}
-		}) {
+			steps, err := r.RunUntil(stable.Valid, 0, cap)
+			return steps, err == nil
+		}
+		silentBud := pilotBudget(opts, silentLabel, uint64(18*n)^0x511e47, budget(n, 3000), silentOnce)
+		var silentConvs []float64
+		for _, t := range runTrialsStat(opts, silentLabel, uint64(18*n)^0x511e47, trials/2+1, statSteps,
+			func(_ int, seed uint64) stepsResult {
+				steps, ok := silentOnce(seed, silentBud)
+				return stepsResult{float64(steps), ok}
+			}) {
 			if t.ok {
 				silentConvs = append(silentConvs, t.steps/(float64(n)*float64(n)*lg))
 			}

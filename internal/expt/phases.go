@@ -37,10 +37,19 @@ func PhaseStructure(opts Options) Figure {
 	waitDur := make(map[int32][]float64)
 	rankDur := make(map[int32][]float64)
 	converged := 0
-	for _, t := range runTrials(opts, uint64(17*n), trials, func(_ int, seed uint64) trialR {
-		windows, ok := core.TrackWindows(core.New(n, core.DefaultParams()), seed, int64(n), budget(n, 200))
-		return trialR{windows, ok}
-	}) {
+	// The statistic is the convergence indicator: phase-duration rows
+	// need converged runs, so the precision rule targets their rate.
+	for _, t := range runTrialsStat(opts, fmt.Sprintf("E17 n=%d", n), uint64(17*n), trials,
+		func(t trialR) (float64, bool) {
+			if t.ok {
+				return 1, true
+			}
+			return 0, true
+		},
+		func(_ int, seed uint64) trialR {
+			windows, ok := core.TrackWindows(core.New(n, core.DefaultParams()), seed, int64(n), budget(n, 200))
+			return trialR{windows, ok}
+		}) {
 		if !t.ok {
 			continue
 		}

@@ -48,3 +48,69 @@ func TestWorkerCountInvariance(t *testing.T) {
 		})
 	}
 }
+
+// TestPrecisionWorkerCountInvariance is the figure-level determinism
+// contract of CI-adaptive stopping: with -precision the stop decision
+// is a pure function of the committed trial prefix, so a generator
+// must still produce byte-identical CSVs at 1, 4, and 16 workers —
+// and the precision run must actually stop early (fewer trials than
+// the raised ceiling), or the test would be vacuous.
+func TestPrecisionWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	for _, tc := range []struct {
+		id  string
+		gen func(Options) Figure
+	}{
+		{"E1", Figure2},
+		{"E2", Figure3},
+		{"E13", EpidemicTail},
+	} {
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			base := QuickOptions()
+			base.Precision = 0.1
+			base.MaxTrials = 64
+
+			var figs []Figure
+			for _, workers := range []int{1, 4, 16} {
+				o := base
+				o.Workers = workers
+				figs = append(figs, tc.gen(o))
+			}
+			for i, f := range figs[1:] {
+				if f.CSV() != figs[0].CSV() {
+					t.Fatalf("%s: CSV differs between 1 worker and %d workers under -precision",
+						tc.id, []int{4, 16}[i])
+				}
+			}
+			if len(figs[0].Rows) == 0 {
+				t.Fatalf("%s: no rows produced", tc.id)
+			}
+		})
+	}
+}
+
+// TestPrecisionStopsEarly pins that the adaptive rule buys something:
+// with a loose target and a raised ceiling, E13 (identity statistic,
+// well-behaved distribution) must commit fewer trials than the
+// ceiling. The trial count sits in the CSV's "trials" column, so
+// comparing two ceilings at a fixed target exposes whether the stop
+// fired.
+func TestPrecisionStopsEarly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	capped := QuickOptions()
+	capped.Precision = 0.25
+	capped.MaxTrials = 200
+	uncapped := QuickOptions()
+	uncapped.MaxTrials = 200
+
+	a := EpidemicTail(capped)
+	b := EpidemicTail(uncapped)
+	if a.CSV() == b.CSV() {
+		t.Fatal("precision run matches the fixed-ceiling run: the stop rule never fired")
+	}
+}

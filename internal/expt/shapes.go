@@ -31,14 +31,21 @@ func Theorem1Shape(opts Options) Figure {
 	line := plot.Series{Name: "normalized stabilization"}
 	var meds []float64
 	for _, n := range ns {
-		var norms []float64
-		converged := 0
-		for _, t := range runTrials(opts, uint64(3*n), trials, func(_ int, seed uint64) stepsResult {
+		label := fmt.Sprintf("E4 n=%d", n)
+		runOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := core.New(n, core.DefaultParams())
 			r := sim.New[core.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(core.Valid, 0, budget(n, 200))
-			return stepsResult{float64(steps), err == nil}
-		}) {
+			steps, err := r.RunUntil(core.Valid, 0, cap)
+			return steps, err == nil
+		}
+		bud := pilotBudget(opts, label, uint64(3*n), budget(n, 200), runOnce)
+		var norms []float64
+		converged := 0
+		res := runTrialsStat(opts, label, uint64(3*n), trials, statSteps, func(_ int, seed uint64) stepsResult {
+			steps, ok := runOnce(seed, bud)
+			return stepsResult{float64(steps), ok}
+		})
+		for _, t := range res {
 			if !t.ok {
 				continue // w.h.p. caveat: occasional LE failures
 			}
@@ -48,7 +55,7 @@ func Theorem1Shape(opts Options) Figure {
 		mean, ci := stats.MeanCI95(norms)
 		med := stats.Median(norms)
 		meds = append(meds, med)
-		fig.Rows = append(fig.Rows, []string{itoa(n), itoa(trials), itoa(converged), f4(mean), f4(ci), f4(med)})
+		fig.Rows = append(fig.Rows, []string{itoa(n), itoa(len(res)), itoa(converged), f4(mean), f4(ci), f4(med)})
 		line.X = append(line.X, math.Log2(float64(n)))
 		line.Y = append(line.Y, med)
 	}
@@ -94,13 +101,25 @@ func Theorem2Shape(opts Options) Figure {
 				stepsResult
 				resets float64
 			}
-			var norms, resets []float64
-			for _, t := range runTrials(opts, uint64(n*(ii+1)), trials, func(_ int, seed uint64) trialR {
+			label := fmt.Sprintf("E5 %s n=%d", init.name, n)
+			runOnce := func(seed uint64, cap int64) (int64, bool, int64) {
 				p := stable.New(n, stable.DefaultParams())
 				r := sim.New[stable.State](p, init.make(p, rng.New(seed^0x1417)), seed)
-				steps, err := r.RunUntil(stable.Valid, 0, budget(n, 3000))
-				return trialR{stepsResult{float64(steps), err == nil}, float64(p.Resets())}
-			}) {
+				steps, err := r.RunUntil(stable.Valid, 0, cap)
+				return steps, err == nil, p.Resets()
+			}
+			bud := pilotBudget(opts, label, uint64(n*(ii+1)), budget(n, 3000),
+				func(seed uint64, cap int64) (int64, bool) {
+					steps, ok, _ := runOnce(seed, cap)
+					return steps, ok
+				})
+			var norms, resets []float64
+			for _, t := range runTrialsStat(opts, label, uint64(n*(ii+1)), trials,
+				func(t trialR) (float64, bool) { return t.steps, t.ok },
+				func(_ int, seed uint64) trialR {
+					steps, ok, re := runOnce(seed, bud)
+					return trialR{stepsResult{float64(steps), ok}, float64(re)}
+				}) {
 				if !t.ok {
 					continue
 				}
@@ -139,19 +158,21 @@ func LEShape(opts Options) Figure {
 		lg := math.Log2(float64(n))
 		var norms []float64
 		unique := 0
-		for _, t := range runTrials(opts, uint64(11*n), trials, func(_ int, seed uint64) stepsResult {
-			p := leaderelect.New(n)
-			r := sim.New[leaderelect.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(leaderelect.UniqueLeaderElected, 0, int64(400*float64(n)*lg*lg))
-			return stepsResult{float64(steps), err == nil}
-		}) {
+		res := runTrialsStat(opts, fmt.Sprintf("E11 n=%d", n), uint64(11*n), trials, statSteps,
+			func(_ int, seed uint64) stepsResult {
+				p := leaderelect.New(n)
+				r := sim.New[leaderelect.State](p, p.InitialStates(), seed)
+				steps, err := r.RunUntil(leaderelect.UniqueLeaderElected, 0, int64(400*float64(n)*lg*lg))
+				return stepsResult{float64(steps), err == nil}
+			})
+		for _, t := range res {
 			if !t.ok {
 				continue
 			}
 			unique++
 			norms = append(norms, t.steps/(float64(n)*lg*lg))
 		}
-		fig.Rows = append(fig.Rows, []string{itoa(n), itoa(trials), f2(float64(unique) / float64(trials)), f4(stats.Median(norms))})
+		fig.Rows = append(fig.Rows, []string{itoa(n), itoa(len(res)), f2(float64(unique) / float64(len(res))), f4(stats.Median(norms))})
 		line.X = append(line.X, lg)
 		line.Y = append(line.Y, stats.Median(norms))
 	}
@@ -179,9 +200,19 @@ func FastLESuccess(opts Options) Figure {
 	bound := 1 / (8 * math.E)
 	for _, n := range ns {
 		uniqueC, zeroC, multiC := 0, 0, 0
-		for _, leaders := range runTrials(opts, uint64(12*n), trials, func(_ int, seed uint64) int {
-			return oneShotFastLE(n, seed)
-		}) {
+		// The statistic is the unique-winner indicator: the precision
+		// rule then targets the success probability the lemma bounds.
+		res := runTrialsStat(opts, fmt.Sprintf("E12 n=%d", n), uint64(12*n), trials,
+			func(leaders int) (float64, bool) {
+				if leaders == 1 {
+					return 1, true
+				}
+				return 0, true
+			},
+			func(_ int, seed uint64) int {
+				return oneShotFastLE(n, seed)
+			})
+		for _, leaders := range res {
 			switch {
 			case leaders == 1:
 				uniqueC++
@@ -192,10 +223,10 @@ func FastLESuccess(opts Options) Figure {
 			}
 		}
 		fig.Rows = append(fig.Rows, []string{
-			itoa(n), itoa(trials),
-			f2(float64(uniqueC) / float64(trials)),
-			f2(float64(zeroC) / float64(trials)),
-			f2(float64(multiC) / float64(trials)),
+			itoa(n), itoa(len(res)),
+			f2(float64(uniqueC) / float64(len(res))),
+			f2(float64(zeroC) / float64(len(res))),
+			f2(float64(multiC) / float64(len(res))),
 			f4(bound),
 		})
 	}

@@ -1,0 +1,207 @@
+package replicate
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ssrank/internal/stats"
+)
+
+// Commit describes one trial result as it is committed, in trial-index
+// order, to the stream's output prefix.
+type Commit[R any] struct {
+	// Trial is the index of the committed trial.
+	Trial int
+	// Committed is the number of trials committed so far, including
+	// this one (== Trial+1: commits happen in index order with no gaps).
+	Committed int
+	// Result is the trial's result.
+	Result R
+}
+
+// Stream configures ReplicateStream.
+type Stream[R any] struct {
+	// Workers bounds the worker pool (< 1 = one per CPU).
+	Workers int
+	// Trials is the trial ceiling: the stream never commits more than
+	// this many trials, and commits exactly this many unless Stop
+	// aborts earlier.
+	Trials int
+	// Root is the experiment root seed; trial i runs with
+	// Seed(Root, i), exactly as Replicate.
+	Root uint64
+	// OnCommit, when non-nil, observes every commit in trial-index
+	// order — the progress hook. It runs on the caller's goroutine.
+	OnCommit func(c Commit[R])
+	// Stop, when non-nil, is the early-abort hook: it is consulted
+	// after each commit (after OnCommit) and a true return freezes the
+	// output at the current committed prefix. Because commits are
+	// delivered in trial order regardless of which worker finished
+	// first, any decision computed from the sequence of commits is a
+	// pure function of the committed prefix — and therefore identical
+	// at every worker count. Trials that were already in flight past
+	// the stop point complete but their results are discarded.
+	Stop func(c Commit[R]) bool
+}
+
+// ReplicateStream runs up to s.Trials independent trials of run and
+// returns the committed prefix of results in trial order. It is the
+// streaming variant of Replicate: results flow through an ordered
+// commit pipeline (buffered until every earlier trial has committed),
+// so callbacks see them in trial-index order even when a fast later
+// trial finishes before a slow earlier one. With a nil Stop it returns
+// exactly Replicate's output; with a Stop hook it may return a shorter
+// prefix, still bit-identical at any worker count.
+func ReplicateStream[R any](s Stream[R], run func(trial int, seed uint64) R) []R {
+	trials := s.Trials
+	if trials <= 0 {
+		return nil
+	}
+	workers := Workers(s.Workers, trials)
+
+	commit := func(results []R, c Commit[R]) (stop bool) {
+		results[c.Trial] = c.Result
+		if s.OnCommit != nil {
+			s.OnCommit(c)
+		}
+		return s.Stop != nil && s.Stop(c)
+	}
+
+	if workers == 1 {
+		results := make([]R, trials)
+		for i := 0; i < trials; i++ {
+			c := Commit[R]{Trial: i, Committed: i + 1, Result: run(i, Seed(s.Root, i))}
+			if commit(results, c) {
+				return results[:i+1]
+			}
+		}
+		return results
+	}
+
+	// Parallel path. Workers claim trial indices from an atomic
+	// counter and speculate ahead of the commit frontier; `horizon`
+	// only throttles that speculation after a stop — it never affects
+	// which results are committed, so it is free to race.
+	var (
+		next    atomic.Int64
+		horizon atomic.Int64
+		wg      sync.WaitGroup
+	)
+	horizon.Store(int64(trials))
+	type item struct {
+		trial int
+		r     R
+	}
+	ch := make(chan item, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials || int64(i) >= horizon.Load() {
+					return
+				}
+				ch <- item{i, run(i, Seed(s.Root, i))}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+
+	// Commit pipeline, on the caller's goroutine: buffer out-of-order
+	// arrivals, commit in trial-index order, and after a stop keep
+	// draining the channel (discarding) so workers never block.
+	results := make([]R, trials)
+	pending := make(map[int]R)
+	committed := 0
+	stopped := false
+	for it := range ch {
+		if stopped {
+			continue
+		}
+		pending[it.trial] = it.r
+		for {
+			r, ok := pending[committed]
+			if !ok {
+				break
+			}
+			delete(pending, committed)
+			c := Commit[R]{Trial: committed, Committed: committed + 1, Result: r}
+			committed++
+			if commit(results, c) {
+				stopped = true
+				horizon.Store(int64(committed))
+				break
+			}
+		}
+	}
+	return results[:committed]
+}
+
+// Precision is a sequential stopping policy: stop replicating once the
+// 95% confidence interval of a per-trial statistic is tight enough,
+// relative to its running mean.
+type Precision struct {
+	// Rel is the target relative half-width: stop once
+	// ci95_half ≤ Rel·|mean|. Must be > 0.
+	Rel float64
+	// MinTrials is the minimum number of committed trials before the
+	// rule may fire (default 8): early CIs computed from two or three
+	// trials are too noisy to trust as stopping evidence.
+	MinTrials int
+}
+
+// DefaultMinTrials is the pilot prefix Precision insists on before its
+// sequential CI is allowed to stop a stream.
+const DefaultMinTrials = 8
+
+// Met reports whether the policy is satisfied by the statistic values
+// folded into acc from a committed prefix. It exists separately from
+// StopFunc so callers that already maintain a Running accumulator
+// (e.g. for progress reporting) can share it with the stop rule.
+//
+// MinTrials is enforced on acc.N() — accumulated statistic samples,
+// not committed trials — so a prefix whose trials mostly failed
+// (ok=false, excluded from the CI) cannot stop on a two-point
+// interval. A zero-spread sample needs 2·MinTrials values before it
+// stops: "constant so far" is not proof of a constant statistic (an
+// indicator whose rate is small looks constant for a long time), and
+// by the rule of three, 2·MinTrials straight identical Bernoulli
+// outcomes at least bound the opposite-outcome rate near 3/(2·MinTrials)
+// — while a genuinely deterministic statistic only pays the few extra
+// trials once.
+func (p Precision) Met(acc *stats.Running) bool {
+	minTrials := p.MinTrials
+	if minTrials <= 0 {
+		minTrials = DefaultMinTrials
+	}
+	if acc.N() < minTrials {
+		return false
+	}
+	rel := acc.RelCI95()
+	if rel == 0 {
+		return acc.N() >= 2*minTrials
+	}
+	return !math.IsInf(rel, 1) && rel <= p.Rel
+}
+
+// StopFunc builds a Stream.Stop hook implementing the policy for a
+// caller-chosen statistic. stat maps a trial result to its statistic
+// value; a false ok excludes the trial from the CI (e.g. a trial that
+// exhausted its budget has no convergence time) without stopping the
+// stream. The hook folds committed values into a Welford accumulator,
+// so the decision depends only on the committed prefix — the
+// determinism contract of ReplicateStream.
+func StopFunc[R any](p Precision, stat func(R) (float64, bool)) func(Commit[R]) bool {
+	var acc stats.Running
+	return func(c Commit[R]) bool {
+		if v, ok := stat(c.Result); ok {
+			acc.Add(v)
+		}
+		return p.Met(&acc)
+	}
+}

@@ -1,0 +1,201 @@
+package replicate
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ssrank/internal/rng"
+)
+
+// adversarialDelay makes earlier trials finish later: trial 0 is the
+// slowest, the last trial returns almost immediately. Any commit-order
+// bug (committing in completion order instead of trial order) surfaces
+// under this schedule.
+func adversarialDelay(trial, trials int) {
+	time.Sleep(time.Duration(trials-trial) * time.Millisecond)
+}
+
+func TestStreamMatchesReplicate(t *testing.T) {
+	run := func(trial int, seed uint64) [2]uint64 {
+		return [2]uint64{uint64(trial), rng.New(seed).Uint64()}
+	}
+	want := Replicate(1, 48, 11, run)
+	for _, workers := range []int{1, 4, 16} {
+		got := ReplicateStream(Stream[[2]uint64]{Workers: workers, Trials: 48, Root: 11}, run)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d trial %d: %v != %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamCommitsInTrialOrder(t *testing.T) {
+	const trials = 24
+	var order []int
+	got := ReplicateStream(Stream[int]{
+		Workers: 8,
+		Trials:  trials,
+		Root:    3,
+		OnCommit: func(c Commit[int]) {
+			order = append(order, c.Trial)
+			if c.Committed != c.Trial+1 {
+				t.Errorf("commit %d reports Committed=%d", c.Trial, c.Committed)
+			}
+		},
+	}, func(trial int, seed uint64) int {
+		adversarialDelay(trial, trials)
+		return trial * trial
+	})
+	if len(order) != trials {
+		t.Fatalf("%d commits, want %d", len(order), trials)
+	}
+	for i, tr := range order {
+		if tr != i {
+			t.Fatalf("commit order %v: position %d holds trial %d", order, i, tr)
+		}
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestStreamEarlyAbortPrefix pins the early-abort hook contract: a
+// Stop firing at commit k freezes the output at exactly the first k+1
+// trials, at every worker count, even when in-flight later trials have
+// already completed.
+func TestStreamEarlyAbortPrefix(t *testing.T) {
+	const trials, stopAt = 40, 9
+	for _, workers := range []int{1, 4, 16} {
+		var commits atomic.Int32
+		got := ReplicateStream(Stream[uint64]{
+			Workers:  workers,
+			Trials:   trials,
+			Root:     5,
+			OnCommit: func(Commit[uint64]) { commits.Add(1) },
+			Stop:     func(c Commit[uint64]) bool { return c.Trial >= stopAt },
+		}, func(trial int, seed uint64) uint64 {
+			adversarialDelay(trial, trials)
+			return seed
+		})
+		if len(got) != stopAt+1 {
+			t.Fatalf("workers=%d: committed %d trials, want %d", workers, len(got), stopAt+1)
+		}
+		if int(commits.Load()) != stopAt+1 {
+			t.Fatalf("workers=%d: OnCommit ran %d times after stop", workers, commits.Load())
+		}
+		for i := range got {
+			if got[i] != Seed(5, i) {
+				t.Fatalf("workers=%d: result[%d] corrupted", workers, i)
+			}
+		}
+	}
+}
+
+// streamStat is the per-trial statistic of the invariance test: a
+// deterministic function of the trial seed alone, noisy enough that
+// the precision rule stops well after MinTrials but well before the
+// ceiling.
+func streamStat(seed uint64) float64 {
+	return 100 + 100*(rng.New(seed).Float64()-0.5)
+}
+
+// TestStreamPrecisionWorkerInvariance is the determinism regression
+// test of the CI-adaptive stopping rule: with Precision stopping, the
+// committed result prefix must be bit-identical at 1, 4, and 16
+// workers — including under an adversarial completion schedule where
+// every later trial finishes before its predecessors. The stop
+// decision is a pure function of the committed prefix, so neither the
+// stop point nor any committed value may move with the worker count.
+func TestStreamPrecisionWorkerInvariance(t *testing.T) {
+	const trials = 96
+	runFor := func(delay bool) func(int, uint64) float64 {
+		return func(trial int, seed uint64) float64 {
+			if delay {
+				adversarialDelay(trial, trials)
+			}
+			return streamStat(seed)
+		}
+	}
+	type outcome struct {
+		prefix []float64
+	}
+	results := map[int]outcome{}
+	for _, workers := range []int{1, 4, 16} {
+		got := ReplicateStream(Stream[float64]{
+			Workers: workers,
+			Trials:  trials,
+			Root:    0x5eed,
+			Stop: StopFunc(Precision{Rel: 0.1}, func(v float64) (float64, bool) {
+				return v, true
+			}),
+		}, runFor(workers > 1))
+		results[workers] = outcome{got}
+	}
+	base := results[1].prefix
+	if len(base) < DefaultMinTrials || len(base) >= trials {
+		t.Fatalf("stop point %d not strictly inside (%d, %d): test statistic mistuned",
+			len(base), DefaultMinTrials, trials)
+	}
+	for _, workers := range []int{4, 16} {
+		got := results[workers].prefix
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d stopped at %d trials, workers=1 at %d", workers, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: committed result %d differs bitwise", workers, i)
+			}
+		}
+	}
+}
+
+func TestStopFuncExcludesFailedTrials(t *testing.T) {
+	// Failed trials (ok=false) must not feed the CI: with every trial
+	// failed the rule can never fire and the stream runs to its
+	// ceiling.
+	stop := StopFunc(Precision{Rel: 0.5}, func(int) (float64, bool) { return 0, false })
+	got := ReplicateStream(Stream[int]{Workers: 4, Trials: 32, Root: 1, Stop: stop},
+		func(trial int, _ uint64) int { return trial })
+	if len(got) != 32 {
+		t.Fatalf("stream with all-failed statistic stopped at %d/32", len(got))
+	}
+	// A zero-spread sample is not trusted at MinTrials — "constant so
+	// far" may be a rare-event indicator — but stops at 2·MinTrials.
+	stop = StopFunc(Precision{Rel: 0.01, MinTrials: 5}, func(int) (float64, bool) { return 7, true })
+	got = ReplicateStream(Stream[int]{Workers: 1, Trials: 32, Root: 1, Stop: stop},
+		func(trial int, _ uint64) int { return trial })
+	if len(got) != 10 {
+		t.Fatalf("constant statistic stopped at %d, want 2·MinTrials=10", len(got))
+	}
+}
+
+// TestPrecisionMetNeedsSamplesNotCommits pins the guard against
+// failed-trial-diluted prefixes: MinTrials counts accumulated
+// statistic values, so a long committed prefix whose trials mostly
+// failed must not stop on a two-point CI.
+func TestPrecisionMetNeedsSamplesNotCommits(t *testing.T) {
+	// 20 committed trials, but only trials 0 and 1 converged, with
+	// nearly equal statistics — a tiny two-point CI.
+	stop := StopFunc(Precision{Rel: 0.05}, func(trial int) (float64, bool) {
+		return 100 + float64(trial), trial < 2
+	})
+	got := ReplicateStream(Stream[int]{Workers: 1, Trials: 20, Root: 1, Stop: stop},
+		func(trial int, _ uint64) int { return trial })
+	if len(got) != 20 {
+		t.Fatalf("stream stopped at %d/20 on a two-sample CI", len(got))
+	}
+}
+
+func TestStreamZeroTrials(t *testing.T) {
+	if got := ReplicateStream(Stream[int]{Workers: 4, Trials: 0, Root: 1},
+		func(int, uint64) int { return 1 }); got != nil {
+		t.Fatalf("0-trial stream = %v, want nil", got)
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import "math"
+
+// Running accumulates mean and variance online with Welford's
+// algorithm: one pass, O(1) memory, numerically stable (the naive
+// sum-of-squares form cancels catastrophically when the mean dwarfs
+// the spread, which is exactly the regime of interaction counts in the
+// 10⁶–10¹⁰ range). It is the accumulator behind the streaming
+// replication engine's sequential confidence intervals: each committed
+// trial is Add-ed once, and the stop rule reads Mean/CI95Half from the
+// committed prefix only.
+//
+// The zero value is an empty accumulator, ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations added.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the running mean (NaN when empty — an empty stream has
+// no mean, and 0 would silently corrupt downstream summaries).
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations, matching Variance on slices).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// CI95Half returns the half-width of the 95% normal-approximation
+// confidence interval of the mean, 1.96·s/√n (0 for fewer than two
+// observations, matching MeanCI95).
+func (r *Running) CI95Half() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return 1.96 * r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// RelCI95 returns the 95% half-width relative to the magnitude of the
+// mean, the quantity a precision-targeted stopping rule thresholds.
+// Degenerate cases: 0 when the sample is constant (any target is met),
+// +Inf when the mean is 0 but the spread is not (a relative target is
+// meaningless, so it is never met).
+func (r *Running) RelCI95() float64 {
+	hw := r.CI95Half()
+	if hw == 0 {
+		return 0
+	}
+	if r.mean == 0 {
+		return math.Inf(1)
+	}
+	return hw / math.Abs(r.mean)
+}

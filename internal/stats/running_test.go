@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ssrank/internal/rng"
+)
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.N() != 0 || !math.IsNaN(r.Mean()) {
+		t.Fatalf("empty accumulator: N=%d Mean=%v, want 0/NaN", r.N(), r.Mean())
+	}
+	if r.Variance() != 0 || r.CI95Half() != 0 || r.RelCI95() != 0 {
+		t.Fatal("empty accumulator must have zero spread")
+	}
+	r.Add(3)
+	if r.N() != 1 || r.Mean() != 3 || r.Variance() != 0 || r.CI95Half() != 0 {
+		t.Fatalf("single observation: N=%d Mean=%v Var=%v", r.N(), r.Mean(), r.Variance())
+	}
+}
+
+// TestRunningMatchesTwoPass is the Welford-vs-two-pass agreement
+// contract: the online accumulator must reproduce the slice-based
+// Mean/Variance/MeanCI95 on the same data.
+func TestRunningMatchesTwoPass(t *testing.T) {
+	check := func(xs []float64) {
+		t.Helper()
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		if m := Mean(xs); !almostEqual(r.Mean(), m, 1e-9*(1+math.Abs(m))) {
+			t.Fatalf("mean: running %v, two-pass %v on %v", r.Mean(), m, xs)
+		}
+		if v := Variance(xs); !almostEqual(r.Variance(), v, 1e-9*(1+v)) {
+			t.Fatalf("variance: running %v, two-pass %v on %v", r.Variance(), v, xs)
+		}
+		if _, hw := MeanCI95(xs); !almostEqual(r.CI95Half(), hw, 1e-9*(1+hw)) {
+			t.Fatalf("ci95: running %v, two-pass %v on %v", r.CI95Half(), hw, xs)
+		}
+	}
+	check([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	check([]float64{1})
+	check([]float64{-3, 3})
+	// The regime the two-pass form exists for: huge mean, tiny spread.
+	check([]float64{1e9 + 1, 1e9 + 2, 1e9 + 3, 1e9 + 4})
+
+	prop := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v) / 7
+		}
+		var r Running
+		for _, x := range xs {
+			r.Add(x)
+		}
+		m, v := Mean(xs), Variance(xs)
+		return almostEqual(r.Mean(), m, 1e-8*(1+math.Abs(m))) &&
+			almostEqual(r.Variance(), v, 1e-8*(1+v))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelCI95Degenerate(t *testing.T) {
+	var c Running
+	c.Add(5)
+	c.Add(5)
+	c.Add(5)
+	if got := c.RelCI95(); got != 0 {
+		t.Fatalf("constant sample RelCI95 = %v, want 0", got)
+	}
+	var z Running
+	z.Add(-1)
+	z.Add(1)
+	if got := z.RelCI95(); !math.IsInf(got, 1) {
+		t.Fatalf("zero-mean noisy RelCI95 = %v, want +Inf", got)
+	}
+	var n Running
+	n.Add(9)
+	n.Add(11)
+	want := n.CI95Half() / 10
+	if got := n.RelCI95(); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("RelCI95 = %v, want %v", got, want)
+	}
+}
+
+// TestCICoverage is the statistical contract of the 95%
+// normal-approximation interval: over many fixed-seed samples from
+// known distributions, the interval must cover the true mean close to
+// 95% of the time. The tolerance band is wide enough for the CLT
+// approximation error of skewed distributions at n=40 but tight enough
+// to catch a wrong critical value or a wrong √n scaling (a 90% or 99%
+// interval lands far outside it).
+func TestCICoverage(t *testing.T) {
+	const (
+		reps       = 2000
+		sampleSize = 40
+	)
+	dists := []struct {
+		name     string
+		trueMean float64
+		draw     func(r *rng.RNG) float64
+	}{
+		{"uniform(0,1)", 0.5, func(r *rng.RNG) float64 { return r.Float64() }},
+		{"exponential(1)", 1, func(r *rng.RNG) float64 {
+			return -math.Log(1 - r.Float64())
+		}},
+		// Irwin–Hall(12): sum of 12 uniforms, near-Gaussian, mean 6.
+		{"irwin-hall(12)", 6, func(r *rng.RNG) float64 {
+			s := 0.0
+			for i := 0; i < 12; i++ {
+				s += r.Float64()
+			}
+			return s
+		}},
+	}
+	for di, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			r := rng.New(0xc0ffee ^ uint64(di)<<16)
+			covered := 0
+			for rep := 0; rep < reps; rep++ {
+				var acc Running
+				for i := 0; i < sampleSize; i++ {
+					acc.Add(d.draw(r))
+				}
+				if math.Abs(acc.Mean()-d.trueMean) <= acc.CI95Half() {
+					covered++
+				}
+			}
+			rate := float64(covered) / reps
+			if rate < 0.91 || rate > 0.98 {
+				t.Fatalf("95%% CI covered the true mean in %.1f%% of %d samples, want ≈95%%",
+					100*rate, reps)
+			}
+		})
+	}
+}

@@ -40,10 +40,14 @@ func Variance(xs []float64) float64 {
 // StdDev returns the sample standard deviation.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
-// Min and Max return the extrema; both return 0 for empty input.
+// Min returns the minimum. Empty input returns NaN: an empty result
+// set has no extrema, and the old convention of returning 0 silently
+// corrupted summaries (a sweep where every trial failed looked like
+// one whose fastest trial took 0 interactions). Callers that want a
+// sentinel must check len or math.IsNaN explicitly.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {
@@ -54,10 +58,11 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Max returns the maximum (0 for empty input).
+// Max returns the maximum (NaN for empty input, for the same reason
+// as Min).
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
-		return 0
+		return math.NaN()
 	}
 	m := xs[0]
 	for _, x := range xs[1:] {

@@ -22,8 +22,16 @@ func TestMeanVarianceStdDev(t *testing.T) {
 }
 
 func TestEmptyInputs(t *testing.T) {
-	if Mean(nil) != 0 || Variance(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
 		t.Fatal("empty-input conventions violated")
+	}
+	// Min/Max return NaN on empty input: 0 is a plausible extremum and
+	// silently corrupts summaries of empty result sets.
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatalf("empty Min/Max = %v/%v, want NaN", Min(nil), Max(nil))
+	}
+	if s := Summarize(nil); !math.IsNaN(s.Min) || !math.IsNaN(s.Max) || s.N != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want NaN extrema", s)
 	}
 	if Quantile(nil, 0.5) != 0 {
 		t.Fatal("Quantile(nil) != 0")
