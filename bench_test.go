@@ -2,7 +2,7 @@ package ssrank
 
 // This file is the benchmark harness required by the reproduction: one
 // testing.B benchmark per paper artifact / experiment (the E-index of
-// DESIGN.md §3), each delegating to the generator in internal/expt at
+// DESIGN.md §4), each delegating to the generator in internal/expt at
 // quick scale, plus micro- and macro-benchmarks of the protocols
 // themselves. Full-scale figures are produced by cmd/figures; the
 // benchmarks here keep `go test -bench=.` in the minutes range on one
@@ -18,6 +18,7 @@ import (
 	"ssrank/internal/core"
 	"ssrank/internal/expt"
 	"ssrank/internal/sim"
+	"ssrank/internal/sim/shard"
 	"ssrank/internal/stable"
 )
 
@@ -136,6 +137,30 @@ func BenchmarkInterval256(b *testing.B) {
 		steps, err := r.RunUntil(interval.Valid, 0, int64(5000*n*n))
 		return steps, err == nil
 	})
+}
+
+// Large-n engine benchmarks: raw interaction throughput at n = 10⁵,
+// where the working set (~1.6 MB of agent state under uniform random
+// access) blows past L2 and the serial engine goes memory-bound. The
+// sharded runner's per-shard slabs restore locality and spread the
+// transition work across cores; comparing the two ns/op numbers on the
+// same machine gives the sharded speedup directly (both run one
+// interaction per op). CI tracks both against BENCH_base.json.
+
+const bigN = 100_000
+
+func BenchmarkUnshardedRun(b *testing.B) {
+	p := stable.New(bigN, stable.DefaultParams())
+	r := sim.New[stable.State](p, p.InitialStates(), 1)
+	b.ResetTimer()
+	r.Run(int64(b.N))
+}
+
+func BenchmarkShardedRun(b *testing.B) {
+	p := stable.New(bigN, stable.DefaultParams())
+	r := shard.New[stable.State](p, p.InitialStates(), 1, 4, 0)
+	b.ResetTimer()
+	r.Run(int64(b.N))
 }
 
 // Micro-benchmarks: raw transition throughput per protocol.

@@ -1,15 +1,21 @@
 // Command benchdiff compares `go test -bench` output against a
-// recorded baseline (BENCH_seed.json) and fails on ns/op regressions —
+// recorded baseline (BENCH_base.json) and fails on ns/op regressions —
 // the CI guard for the simulator's hot path:
 //
-//	go test -run '^$' -bench BenchmarkTransition -benchtime=1000x -count=3 . |
-//	    benchdiff -baseline BENCH_seed.json -match '^BenchmarkTransition' -threshold 0.20
+//	go test -run '^$' -bench BenchmarkTransition -benchtime=100000x -count=3 . |
+//	    benchdiff -baseline BENCH_base.json -match '^BenchmarkTransition' -threshold 0.35
 //
 // Benchmark output is read from stdin (or -in). With -count > 1 the
 // minimum ns/op per benchmark is compared — the minimum is the
 // least-noisy estimator of the true cost on a shared CI runner.
 // Benchmarks present in only one of the two sides are reported and
 // skipped; a regression beyond the threshold exits 1.
+//
+// With -warn the diff is reported but never fails the build (exit 0
+// even on regressions; usage and parse errors still exit 2) — the soft
+// gate for figure-level benchmarks, whose end-to-end wall clock is too
+// noisy on shared runners for a hard threshold but worth tracking as a
+// trajectory.
 package main
 
 import (
@@ -39,10 +45,11 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		basePath  = fs.String("baseline", "BENCH_seed.json", "baseline JSON with {benchmarks: [{name, ns_per_op}]}")
+		basePath  = fs.String("baseline", "BENCH_base.json", "baseline JSON with {benchmarks: [{name, ns_per_op}]}")
 		in        = fs.String("in", "", "benchmark output file (default: stdin)")
 		match     = fs.String("match", "^BenchmarkTransition", "regexp of benchmark names to compare")
 		threshold = fs.Float64("threshold", 0.20, "fail when ns/op exceeds baseline by more than this fraction")
+		warn      = fs.Bool("warn", false, "report regressions without failing (exit 0): the soft-gate mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -116,6 +123,9 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		status := "ok  "
 		if change > *threshold {
 			status = "FAIL"
+			if *warn {
+				status = "WARN"
+			}
 			failed = true
 		}
 		fmt.Fprintf(stdout, "%s %-28s %10.1f ns/op vs baseline %10.1f (%+.1f%%, limit +%.0f%%)\n",
@@ -125,6 +135,10 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		fmt.Fprintf(stdout, "SKIP %-28s not present in the benchmark output\n", name)
 	}
 	if failed {
+		if *warn {
+			fmt.Fprintln(stdout, "benchdiff: ns/op regression beyond threshold (warn mode: not failing)")
+			return 0
+		}
 		fmt.Fprintln(stdout, "benchdiff: ns/op regression beyond threshold")
 		return 1
 	}

@@ -98,6 +98,25 @@ func TestRunFailsOnRegression(t *testing.T) {
 	}
 }
 
+func TestRunWarnReportsWithoutFailing(t *testing.T) {
+	base := writeBaseline(t, `{"benchmarks": [{"name": "BenchmarkTransitionCai", "ns_per_op": 100}]}`)
+	var out, errb strings.Builder
+	code := run(strings.NewReader(sampleOutput), &out, &errb,
+		[]string{"-baseline", base, "-match", "^BenchmarkTransitionCai$", "-threshold", "0.20", "-warn"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 in -warn mode despite the regression\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "WARN BenchmarkTransitionCai") {
+		t.Fatalf("missing WARN line:\n%s", out.String())
+	}
+	// Usage errors must still be loud in warn mode.
+	code = run(strings.NewReader(sampleOutput), &out, &errb,
+		[]string{"-baseline", base, "-match", "^BenchmarkNoSuchThing$", "-warn"})
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 for an empty selection even with -warn", code)
+	}
+}
+
 func TestRunRejectsEmptySelection(t *testing.T) {
 	base := writeBaseline(t, sampleBaseline)
 	var out, errb strings.Builder
@@ -108,19 +127,22 @@ func TestRunRejectsEmptySelection(t *testing.T) {
 	}
 }
 
-// TestRunAgainstRepoBaseline keeps the tool honest against the real
-// BENCH_seed.json schema: the checked-in baseline must parse and
-// contain the BenchmarkTransition* entries CI diffs against.
-func TestRunAgainstRepoBaseline(t *testing.T) {
-	var out, errb strings.Builder
-	code := run(strings.NewReader(sampleOutput), &out, &errb,
-		[]string{"-baseline", "../../BENCH_seed.json", "-threshold", "100"})
-	if code != 0 {
-		t.Fatalf("exit %d against the repo baseline\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
-	}
-	for _, name := range []string{"BenchmarkTransitionStable", "BenchmarkTransitionCore", "BenchmarkTransitionCai"} {
-		if !strings.Contains(out.String(), name) {
-			t.Fatalf("repo baseline diff missing %s:\n%s", name, out.String())
+// TestRunAgainstRepoBaselines keeps the tool honest against the real
+// checked-in baselines: both the historical BENCH_seed.json and the
+// current BENCH_base.json CI diffs against must parse and contain the
+// BenchmarkTransition* entries.
+func TestRunAgainstRepoBaselines(t *testing.T) {
+	for _, baseline := range []string{"../../BENCH_seed.json", "../../BENCH_base.json"} {
+		var out, errb strings.Builder
+		code := run(strings.NewReader(sampleOutput), &out, &errb,
+			[]string{"-baseline", baseline, "-threshold", "1e9"})
+		if code != 0 {
+			t.Fatalf("exit %d against %s\nstdout:\n%s\nstderr:\n%s", code, baseline, out.String(), errb.String())
+		}
+		for _, name := range []string{"BenchmarkTransitionStable", "BenchmarkTransitionCore", "BenchmarkTransitionCai"} {
+			if !strings.Contains(out.String(), name) {
+				t.Fatalf("%s diff missing %s:\n%s", baseline, name, out.String())
+			}
 		}
 	}
 }

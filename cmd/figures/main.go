@@ -1,10 +1,12 @@
 // Command figures regenerates every table and figure of the paper's
-// evaluation (plus the shape experiments of DESIGN.md §3), writing one
+// evaluation (plus the shape experiments of DESIGN.md §4), writing one
 // CSV per experiment and printing ASCII renderings:
 //
 //	figures -out results/            # full scale, all CPUs
 //	figures -quick -only E1,E2       # scaled down, selected experiments
 //	figures -parallel 1              # serial replications (same output)
+//	figures -e E1 -shards 4          # sharded engine inside each trial
+//	                                 # (same CSV at every -parallel)
 //	figures -e E2 -precision 0.05 -maxtrials 200 -progress
 //	                                 # CI-adaptive: replicate each loop
 //	                                 # until its 95% CI half-width is
@@ -42,6 +44,7 @@ func run() int {
 		e         = flag.String("e", "", "alias of -only")
 		seed      = flag.Uint64("seed", 0x5eed, "experiment seed")
 		parallel  = flag.Int("parallel", 0, "replication workers: 0 = one per CPU, 1 = serial (output is identical either way)")
+		shards    = flag.Int("shards", 0, "run single trials of the large-n experiments (E1, E2, E4, E5) on this many population shards; output depends on the shard count but not on -parallel")
 		precision = flag.Float64("precision", 0, "stop each replication loop once the 95% CI half-width of its statistic falls below this fraction of the mean (0 = fixed trial counts)")
 		maxtrials = flag.Int("maxtrials", 0, "override per-loop replication trial ceilings (0 = generator defaults); raise it to give -precision room")
 		progress  = flag.Bool("progress", false, "stream per-trial replication progress to stderr")
@@ -53,7 +56,7 @@ func run() int {
 		return 2
 	}
 	opts := expt.Options{
-		Seed: *seed, Quick: *quick, Workers: *parallel,
+		Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards,
 		Precision: *precision, MaxTrials: *maxtrials,
 	}
 	if *progress {

@@ -39,6 +39,7 @@ func run() int {
 		init      = flag.String("init", "fresh", "initial configuration (stable): fresh | worst-case | random | fig3")
 		seed      = flag.Uint64("seed", 1, "scheduler seed (runs are deterministic per seed)")
 		budget    = flag.Int64("budget", 0, "interaction budget (0 = generous default)")
+		shards    = flag.Int("shards", 0, "run the population on this many shards (intra-run parallelism; results depend on the shard count, not on the worker pool)")
 		epsilon   = flag.Float64("epsilon", 1.0, "range slack for the interval protocol")
 		verbose   = flag.Bool("v", false, "print the full rank assignment")
 		traceOut  = flag.String("trace", "", "write a per-n-interactions CSV time series to this file (stable protocol only)")
@@ -85,12 +86,20 @@ func run() int {
 			Init:            ssrank.Init(*init),
 			MaxInteractions: *budget,
 			Epsilon:         *epsilon,
+			Shards:          *shards,
+			// Within a replication sweep the trial pool owns the
+			// cores; sharded trials run their phases serially.
+			ShardWorkers: 1,
 		}, *seed, ceiling, *parallel, *precision, *progress)
 	}
 
 	if *traceOut != "" {
 		if *protocol != string(ssrank.StableRanking) {
 			fmt.Fprintln(os.Stderr, "ssrank: -trace supports only -protocol stable")
+			return 2
+		}
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "ssrank: -trace and -shards are mutually exclusive")
 			return 2
 		}
 		return runTraced(*n, *init, *seed, *budget, *traceOut)
@@ -103,6 +112,7 @@ func run() int {
 		Seed:            *seed,
 		MaxInteractions: *budget,
 		Epsilon:         *epsilon,
+		Shards:          *shards,
 	})
 	if err != nil && !errors.Is(err, ssrank.ErrNotConverged) {
 		fmt.Fprintln(os.Stderr, "ssrank:", err)

@@ -19,6 +19,7 @@ package aware
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"ssrank/internal/leaderelect"
 )
@@ -75,7 +76,9 @@ func (s *State) isMain() bool {
 }
 
 // Protocol is the aware-leader ranking protocol. Like stable.Protocol
-// it counts resets and must not be shared across concurrent runners.
+// it counts the resets it triggers through an atomic counter, so
+// Transition is safe to invoke concurrently on disjoint state pairs;
+// still construct one instance per trial so counts stay per-run.
 type Protocol struct {
 	n        int
 	lMax     int32
@@ -84,7 +87,7 @@ type Protocol struct {
 	dMax     int32
 	coinInit int32
 
-	resets int64
+	resets atomic.Int64
 }
 
 // Params are the tunable constants; see stable.Params for their roles.
@@ -134,7 +137,7 @@ func (p *Protocol) N() int { return p.n }
 func (p *Protocol) LMax() int32 { return p.lMax }
 
 // Resets returns the number of resets triggered by this instance.
-func (p *Protocol) Resets() int64 { return p.resets }
+func (p *Protocol) Resets() int64 { return p.resets.Load() }
 
 // LEInitial returns the leader-election start state with the given
 // coin.
@@ -158,7 +161,7 @@ func (p *Protocol) TriggerReset(s *State) {
 		coin = s.Coin
 	}
 	*s = State{Mode: ModeReset, Coin: coin, ResetCount: p.rMax, DelayCount: p.dMax}
-	p.resets++
+	p.resets.Add(1)
 }
 
 // Transition is the dispatcher, structured like stable's Protocol 3.

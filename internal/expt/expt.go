@@ -1,5 +1,5 @@
 // Package expt defines the experiment harness: one generator per paper
-// figure and per measurable claim (the E1..E14 index of DESIGN.md §3).
+// figure and per measurable claim (the E1..E14 index of DESIGN.md §4).
 // Each generator returns a Figure carrying machine-readable rows (CSV)
 // and a terminal rendering (ASCII chart or table), plus notes comparing
 // the measurement against what the paper predicts.
@@ -16,7 +16,9 @@ import (
 	"math"
 
 	"ssrank/internal/plot"
+	"ssrank/internal/sim"
 	"ssrank/internal/sim/replicate"
+	"ssrank/internal/sim/shard"
 	"ssrank/internal/stats"
 )
 
@@ -30,7 +32,18 @@ type Options struct {
 	Quick bool
 	// Workers bounds the replication worker pool: < 1 means one worker
 	// per CPU, 1 forces serial execution. Results do not depend on it.
+	// With Shards > 1 the same setting bounds the intra-run shard
+	// workers of the generators that adopt the sharded engine.
 	Workers int
+	// Shards, when > 1, runs the trials of the sharded-engine adopters
+	// (E1, E2, E4, E5 — the large-n stabilization generators) on the
+	// internal/sim/shard runner with this shard count. Output depends
+	// on (Seed, Shards) but never on Workers; Shards ≤ 1 keeps the
+	// serial engine and its pinned golden outputs. Sharding pays off
+	// when single trials dominate (large n, few replications): within
+	// a wide replication loop the trial pool is already using the
+	// cores.
+	Shards int
 	// Precision, when > 0, enables CI-adaptive stopping: each
 	// replication loop that designates a statistic stops as soon as
 	// the 95% CI half-width of that statistic falls below
@@ -200,6 +213,33 @@ func streamTrials[R any](o Options, label string, salt uint64, trials int, stat 
 		}
 	}
 	return replicate.ReplicateStream(s, run)
+}
+
+// runner is the single-trial engine surface the generators drive: both
+// sim.Runner and shard.Runner satisfy it, and all calls are
+// chunk-level (poll cadence ≥ n interactions), so the interface
+// indirection never sits on a per-interaction path.
+type runner[S any] interface {
+	Run(k int64)
+	RunUntil(stop func(states []S) bool, checkEvery, maxSteps int64) (int64, error)
+	Observe(obs func(steps int64, states []S), every, maxSteps int64, stop func(states []S) bool) int64
+	States() []S
+	Steps() int64
+}
+
+// newRunner returns the engine one trial runs on: the sharded runner
+// when o.Shards > 1, else the serial sim.Runner. workers bounds the
+// shard worker pool; single-trajectory generators pass o.Workers
+// (intra-run parallelism is the only parallelism they have), while
+// replicated loops pass 1 — their trial pool already owns the cores,
+// and nesting o.Workers shard workers inside o.Workers trial workers
+// would only oversubscribe. Trajectories depend on (seed, o.Shards)
+// only, never on workers, so figures stay byte-identical either way.
+func newRunner[S any, P sim.Protocol[S]](o Options, workers int, p P, states []S, seed uint64) runner[S] {
+	if o.Shards > 1 {
+		return shard.New[S](p, states, seed, o.Shards, workers)
+	}
+	return sim.New[S](p, states, seed)
 }
 
 // statSteps designates a stabilization loop's interaction count as its

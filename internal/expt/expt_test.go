@@ -79,7 +79,7 @@ func TestFigure2ShowsRecovery(t *testing.T) {
 }
 
 func TestFig3HittingTimesOrdered(t *testing.T) {
-	times := fig3HittingTimes(128, 7)
+	times := fig3HittingTimes(QuickOptions(), 128, 7)
 	prev := 0.0
 	for i, v := range times {
 		if v < 0 {

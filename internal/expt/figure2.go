@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ssrank/internal/plot"
-	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 )
 
@@ -39,9 +38,12 @@ func Figure2(opts Options) Figure {
 	// engine's per-trial derivation would re-seed the one figure the
 	// paper pins to a specific worst-case run); the replication engine
 	// still hosts it so every generator shares one execution path.
+	// With opts.Shards > 1 the trajectory runs on the sharded engine —
+	// the single-trial figure where intra-run parallelism is the only
+	// parallelism there is.
 	res := runTrials(opts, "E1", 0, 1, func(int, uint64) fig2run {
 		p := stable.New(n, stable.DefaultParams())
-		r := sim.New[stable.State](p, p.WorstCaseInit(), opts.Seed)
+		r := newRunner[stable.State](opts, opts.Workers, p, p.WorstCaseInit(), opts.Seed)
 		out := fig2run{stabilizedAt: -1}
 		sample := int64(n) * int64(n) / 4
 		maxSteps := int64(maxUnits * float64(n) * float64(n))

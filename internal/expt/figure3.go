@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"ssrank/internal/plot"
-	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
 )
@@ -26,9 +25,9 @@ var fig3Fractions = []struct {
 // fig3HittingTimes runs one trial from the Fig. 3 initialization and
 // returns, per fraction, the interactions/n² at which it was first
 // reached (-1 when not reached within the budget).
-func fig3HittingTimes(n int, seed uint64) []float64 {
+func fig3HittingTimes(opts Options, n int, seed uint64) []float64 {
 	p := stable.New(n, stable.DefaultParams())
-	r := sim.New[stable.State](p, p.Fig3Init(), seed)
+	r := newRunner[stable.State](opts, 1, p, p.Fig3Init(), seed)
 	times := make([]float64, len(fig3Fractions))
 	for i := range times {
 		times[i] = -1
@@ -105,7 +104,7 @@ func Figure3(opts Options) Figure {
 				return last, last >= 0
 			},
 			func(_ int, seed uint64) []float64 {
-				return fig3HittingTimes(n, seed)
+				return fig3HittingTimes(opts, n, seed)
 			}) {
 			for i, v := range times {
 				if v >= 0 {

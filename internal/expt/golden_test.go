@@ -26,12 +26,24 @@ func TestGoldenFigureCSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment harness is slow")
 	}
+	shards4 := func(gen func(Options) Figure) func(Options) Figure {
+		return func(o Options) Figure {
+			o.Shards = 4
+			return gen(o)
+		}
+	}
 	for _, tc := range []struct {
 		golden string
 		gen    func(Options) Figure
 	}{
 		{"e1_quick.golden.csv", Figure2},
 		{"e6_quick.golden.csv", BaselineComparison},
+		// The sharded counterpart pins the largest-n quick CSV that
+		// runs through internal/sim/shard (E2, the Fig. 3 scaling
+		// sweep): any change to batch classification, shard-stream
+		// derivation, or cross reconciliation order fails here instead
+		// of silently shifting sharded experiment output.
+		{"e2_quick_shards4.golden.csv", shards4(Figure3)},
 	} {
 		t.Run(tc.golden, func(t *testing.T) {
 			t.Parallel()

@@ -34,7 +34,7 @@ func Theorem1Shape(opts Options) Figure {
 		label := fmt.Sprintf("E4 n=%d", n)
 		runOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := core.New(n, core.DefaultParams())
-			r := sim.New[core.State](p, p.InitialStates(), seed)
+			r := newRunner[core.State](opts, 1, p, p.InitialStates(), seed)
 			steps, err := r.RunUntil(core.Valid, 0, cap)
 			return steps, err == nil
 		}
@@ -104,7 +104,7 @@ func Theorem2Shape(opts Options) Figure {
 			label := fmt.Sprintf("E5 %s n=%d", init.name, n)
 			runOnce := func(seed uint64, cap int64) (int64, bool, int64) {
 				p := stable.New(n, stable.DefaultParams())
-				r := sim.New[stable.State](p, init.make(p, rng.New(seed^0x1417)), seed)
+				r := newRunner[stable.State](opts, 1, p, init.make(p, rng.New(seed^0x1417)), seed)
 				steps, err := r.RunUntil(stable.Valid, 0, cap)
 				return steps, err == nil, p.Resets()
 			}

@@ -124,6 +124,21 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xa0761d6478bd642f)
 }
 
+// Clone returns an independent copy of r that will emit exactly the
+// same stream from the current state onward. Combined with Jump it
+// carves one seed into guaranteed-disjoint streams without disturbing
+// the original generator:
+//
+//	base := rng.New(seed)
+//	base.Jump()
+//	stream0 := base.Clone() // block [2¹²⁸, 2·2¹²⁸)
+//	base.Jump()
+//	stream1 := base.Clone() // block [2·2¹²⁸, 3·2¹²⁸)
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 // Jump advances the generator by 2¹²⁸ steps, equivalent to 2¹²⁸ calls
 // to Uint64. It partitions one stream into non-overlapping
 // subsequences of length 2¹²⁸: repeated Jumps yield generators whose

@@ -1,0 +1,420 @@
+// Package shard implements intra-run parallelism for the population
+// engine: one simulation run partitioned across S shards, each owning a
+// contiguous range of agents, its own slab of the state array, and its
+// own rng.Jump-derived pair stream.
+//
+// The uniform pairwise scheduler admits an exchangeable-batch
+// formulation: a batch of B sampled pairs may be applied in a
+// deterministic canonical order without changing the per-slot law of
+// the process (each slot remains an independent uniform ordered pair of
+// distinct agents; only the relative application order of the rare
+// agent-sharing pairs inside one batch is canonicalized — see
+// DESIGN.md §3 for the argument and the O(B²/n) collision accounting).
+// The runner exploits that freedom per batch:
+//
+//  1. The coordinator draws B pairs from the master rng.PairBatch and
+//     classifies each as intra-shard (both endpoints in one shard) or
+//     cross-shard. For an intra slot only the shard identity is kept —
+//     the shard re-draws the concrete pair from its own stream, which
+//     is exact: conditioned on landing in shard s, a uniform ordered
+//     pair of distinct agents is a uniform ordered pair of distinct
+//     agents of shard s.
+//  2. Intra phase: every shard applies its intra pairs concurrently,
+//     one worker per shard, drawing from its own PairBatch in slot
+//     order. Shards touch disjoint slabs, so results cannot depend on
+//     worker scheduling.
+//  3. Barrier, then cross reconciliation: cross pairs are grouped by
+//     unordered shard pair ("class") and the classes are played in
+//     tournament rounds — within a round no shard appears in two
+//     classes, so the round's classes run concurrently, each applying
+//     its pairs in sampled order on one worker.
+//
+// Every step of that schedule is a pure function of (seed, shard
+// count): which pairs the master emits, how they classify, what each
+// shard stream yields, and the class/round grouping. Worker goroutines
+// only ever execute units that touch disjoint memory, so for a fixed
+// (seed, S) the trajectory is byte-identical at any worker count — the
+// repo's determinism invariant extended from replication
+// (internal/sim/replicate) down into a single run.
+//
+// The protocol's Transition must be safe for concurrent invocation on
+// disjoint state pairs: it may read immutable protocol parameters
+// freely but must synchronize any shared mutable instrumentation
+// (stable.Protocol and aware.Protocol use atomic reset counters).
+//
+// Unlike sim.Runner, the trajectory additionally depends on where
+// batch barriers fall: Run(k) flushes a partial batch at its end so
+// the caller may inspect states, which makes the poll cadence of
+// RunUntil / Observe part of the trajectory definition. Determinism
+// guarantees are therefore stated for a fixed call sequence — which is
+// how the experiment generators drive the engine.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+)
+
+// maxBatch bounds the pairs classified per barrier period: large
+// enough to amortize barrier synchronization over tens of microseconds
+// of transition work, small enough that the canonical-reorder window
+// stays negligible against the Θ(n² log n) timescales under
+// measurement.
+const maxBatch = 16384
+
+// minBatch keeps tiny populations from paying a barrier every handful
+// of interactions.
+const minBatch = 512
+
+// Runner executes a protocol over a population partitioned into
+// shards. Construct with New; the zero value is not usable. The
+// methods mirror sim.Runner and, like it, must not be called
+// concurrently — parallelism lives *inside* a call (workers are
+// spawned per Run and joined before it returns, so an idle Runner
+// holds no goroutines).
+type Runner[S any, P sim.Protocol[S]] struct {
+	proto   P
+	states  []S
+	master  *rng.PairBatch
+	shards  []shardMeta
+	workers int
+	batch   int
+	steps   int64
+
+	// Per-batch scratch, reused across batches.
+	intraCount []int     // pairs to apply per shard this batch
+	cross      [][]int32 // per class id s*S+t (s<t): flattened (a, b) pairs in sampled order
+	rounds     [][]int   // tournament schedule: class ids playable concurrently
+	tasks      chan task
+	wg         sync.WaitGroup
+}
+
+// shardMeta is one shard: its index range [lo, hi) in the population
+// array and its private pair stream over local indices [0, hi-lo).
+type shardMeta struct {
+	lo, hi int
+	pb     *rng.PairBatch
+}
+
+// task is one unit of deterministic work inside a phase: either a
+// shard's intra pairs or a class's cross pairs.
+type task struct {
+	cross bool
+	idx   int
+}
+
+// New returns a sharded Runner over the given initial configuration
+// with the requested shard count and worker count. The states slice is
+// owned by the Runner afterwards. It panics if fewer than two agents
+// are supplied. The shard count is clamped to [1, n/2] (every shard
+// needs ≥ 2 agents for intra-shard pairs); workers < 1 means one per
+// CPU, and more workers than shards are never useful, so the count is
+// clamped to the shard count. The trajectory depends on (seed, clamped
+// shard count) only — never on workers.
+func New[S any, P sim.Protocol[S]](p P, states []S, seed uint64, shards, workers int) *Runner[S, P] {
+	n := len(states)
+	if n < 2 {
+		panic(fmt.Sprintf("shard: population needs at least 2 agents, got %d", n))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n/2 {
+		shards = n / 2
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+
+	r := &Runner[S, P]{
+		proto:      p,
+		states:     states,
+		master:     rng.NewPairBatch(rng.New(seed), n),
+		workers:    workers,
+		intraCount: make([]int, shards),
+		cross:      make([][]int32, shards*shards),
+		rounds:     tournament(shards),
+	}
+
+	// Shard streams: the master owns stream block 0 of the seed (its
+	// first 2¹²⁸ draws); shard s owns block s+1, reached by jumping a
+	// fresh generator s+1 times. Blocks are guaranteed disjoint, so no
+	// draw is ever shared between the master and a shard or between
+	// two shards. Shard s covers [⌊s·n/S⌋, ⌊(s+1)·n/S⌋) — the floor
+	// partition inverted branch-free by shardOf.
+	base := rng.New(seed)
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		base.Jump()
+		r.shards = append(r.shards, shardMeta{lo: lo, hi: hi, pb: rng.NewPairBatch(base.Clone(), hi-lo)})
+	}
+
+	r.batch = n / 2
+	if r.batch < minBatch {
+		r.batch = minBatch
+	}
+	if r.batch > maxBatch {
+		r.batch = maxBatch
+	}
+	return r
+}
+
+// N returns the population size.
+func (r *Runner[S, P]) N() int { return len(r.states) }
+
+// Shards returns the effective (clamped) shard count.
+func (r *Runner[S, P]) Shards() int { return len(r.shards) }
+
+// Steps returns the number of interactions executed so far.
+func (r *Runner[S, P]) Steps() int64 { return r.steps }
+
+// States returns the live configuration; treat it as read-only.
+func (r *Runner[S, P]) States() []S { return r.states }
+
+// Snapshot returns a copy of the current configuration.
+func (r *Runner[S, P]) Snapshot() []S {
+	out := make([]S, len(r.states))
+	copy(out, r.states)
+	return out
+}
+
+// Run executes k interactions in barrier-synchronized batches. The
+// final batch is truncated to k, so all k interactions have been
+// applied when Run returns.
+func (r *Runner[S, P]) Run(k int64) {
+	if k <= 0 {
+		return
+	}
+	if r.workers > 1 {
+		r.tasks = make(chan task, len(r.shards))
+		for w := 0; w < r.workers; w++ {
+			go r.worker(r.tasks)
+		}
+		// Phase barriers guarantee no task is in flight here, so
+		// closing the channel retires the workers.
+		defer func() { close(r.tasks); r.tasks = nil }()
+	}
+	for k > 0 {
+		b := int64(r.batch)
+		if b > k {
+			b = k
+		}
+		r.runBatch(int(b))
+		k -= b
+	}
+}
+
+// worker executes phase tasks. Every task touches memory disjoint from
+// every other task of its phase, so execution order is free.
+func (r *Runner[S, P]) worker(tasks <-chan task) {
+	for t := range tasks {
+		if t.cross {
+			r.applyCross(t.idx)
+		} else {
+			r.applyIntra(t.idx)
+		}
+		r.wg.Done()
+	}
+}
+
+// runBatch classifies b master pairs and plays the batch's canonical
+// schedule: intra phase, barrier, cross rounds.
+func (r *Runner[S, P]) runBatch(b int) {
+	nshards := len(r.shards)
+	for done := 0; done < b; {
+		as, bs := r.master.Window()
+		m := b - done
+		if m > len(as) {
+			m = len(as)
+		}
+		for i := 0; i < m; i++ {
+			sa, sb := r.shardOf(int(as[i])), r.shardOf(int(bs[i]))
+			if sa == sb {
+				r.intraCount[sa]++
+			} else {
+				if sa > sb {
+					sa, sb = sb, sa
+				}
+				c := sa*nshards + sb
+				r.cross[c] = append(r.cross[c], as[i], bs[i])
+			}
+		}
+		r.master.Advance(m)
+		done += m
+	}
+
+	// Intra phase: one task per shard with work.
+	if r.workers == 1 {
+		for s := 0; s < nshards; s++ {
+			if r.intraCount[s] > 0 {
+				r.applyIntra(s)
+			}
+		}
+	} else {
+		for s := 0; s < nshards; s++ {
+			if r.intraCount[s] > 0 {
+				r.wg.Add(1)
+				r.tasks <- task{idx: s}
+			}
+		}
+		r.wg.Wait() // batch barrier
+	}
+
+	// Cross reconciliation in tournament rounds: classes of one round
+	// touch disjoint shard pairs, so they run concurrently; pairs
+	// within a class apply in sampled order.
+	for _, round := range r.rounds {
+		if r.workers == 1 {
+			for _, c := range round {
+				if len(r.cross[c]) > 0 {
+					r.applyCross(c)
+				}
+			}
+			continue
+		}
+		for _, c := range round {
+			if len(r.cross[c]) > 0 {
+				r.wg.Add(1)
+				r.tasks <- task{cross: true, idx: c}
+			}
+		}
+		r.wg.Wait()
+	}
+
+	for s := range r.intraCount {
+		r.intraCount[s] = 0
+	}
+	for c := range r.cross {
+		r.cross[c] = r.cross[c][:0]
+	}
+	r.steps += int64(b)
+}
+
+// applyIntra applies shard s's intra pairs for this batch, drawing
+// them from the shard's own stream in slot order.
+func (r *Runner[S, P]) applyIntra(s int) {
+	sh := &r.shards[s]
+	slab := r.states[sh.lo:sh.hi]
+	for cnt := r.intraCount[s]; cnt > 0; {
+		as, bs := sh.pb.Window()
+		m := cnt
+		if m > len(as) {
+			m = len(as)
+		}
+		for i := 0; i < m; i++ {
+			r.proto.Transition(&slab[as[i]], &slab[bs[i]])
+		}
+		sh.pb.Advance(m)
+		cnt -= m
+	}
+}
+
+// applyCross applies class c's cross pairs in sampled order.
+func (r *Runner[S, P]) applyCross(c int) {
+	ps := r.cross[c]
+	for i := 0; i < len(ps); i += 2 {
+		r.proto.Transition(&r.states[ps[i]], &r.states[ps[i+1]])
+	}
+}
+
+// shardOf inverts the floor partition: agent i of n belongs to shard
+// ⌊((i+1)·S − 1)/n⌋, branch-free (one multiply and one division on
+// the classification hot path, with no data-dependent branches to
+// mispredict on uniformly random indices).
+func (r *Runner[S, P]) shardOf(i int) int {
+	return ((i+1)*len(r.shards) - 1) / len(r.states)
+}
+
+// RunUntil executes interactions until stop returns true, polling the
+// condition every checkEvery interactions (values < 1 poll every n
+// interactions), exactly as sim.Runner.RunUntil. It returns the number
+// of interactions executed at the first poll where the condition held.
+// If the condition does not hold within maxSteps interactions it stops
+// and returns sim.ErrBudgetExhausted.
+func (r *Runner[S, P]) RunUntil(stop func(states []S) bool, checkEvery, maxSteps int64) (int64, error) {
+	if checkEvery < 1 {
+		checkEvery = int64(len(r.states))
+	}
+	if stop(r.states) {
+		return r.steps, nil
+	}
+	for r.steps < maxSteps {
+		chunk := checkEvery
+		if remaining := maxSteps - r.steps; chunk > remaining {
+			chunk = remaining
+		}
+		r.Run(chunk)
+		if stop(r.states) {
+			return r.steps, nil
+		}
+	}
+	return r.steps, sim.ErrBudgetExhausted
+}
+
+// Observe executes interactions until stop returns true or maxSteps is
+// reached, invoking obs every `every` interactions (and once at step 0,
+// and once at the final step), exactly as sim.Runner.Observe. A nil
+// stop runs to maxSteps.
+func (r *Runner[S, P]) Observe(obs func(steps int64, states []S), every, maxSteps int64, stop func(states []S) bool) int64 {
+	if every < 1 {
+		every = int64(len(r.states))
+	}
+	obs(r.steps, r.states)
+	for r.steps < maxSteps {
+		chunk := every
+		if remaining := maxSteps - r.steps; chunk > remaining {
+			chunk = remaining
+		}
+		r.Run(chunk)
+		obs(r.steps, r.states)
+		if stop != nil && stop(r.states) {
+			break
+		}
+	}
+	return r.steps
+}
+
+// tournament returns a round-robin schedule over the unordered shard
+// pairs of S shards (class id s*S+t, s < t): every class appears in
+// exactly one round, and within a round no shard appears twice, so a
+// round's classes may execute concurrently. The circle method yields
+// S−1 rounds for even S and S rounds for odd S (one shard sits out per
+// round).
+func tournament(S int) [][]int {
+	if S < 2 {
+		return nil
+	}
+	m := S
+	if m%2 == 1 {
+		m++ // phantom "bye" participant
+	}
+	rounds := make([][]int, 0, m-1)
+	for r := 0; r < m-1; r++ {
+		var round []int
+		for i := 0; i < m/2; i++ {
+			a := (r + i) % (m - 1)
+			b := m - 1 // the fixed participant
+			if i > 0 {
+				b = (r - i + m - 1) % (m - 1)
+			}
+			if a >= S || b >= S {
+				continue // bye
+			}
+			if a > b {
+				a, b = b, a
+			}
+			round = append(round, a*S+b)
+		}
+		if len(round) > 0 {
+			rounds = append(rounds, round)
+		}
+	}
+	return rounds
+}

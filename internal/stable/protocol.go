@@ -3,6 +3,7 @@ package stable
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"ssrank/internal/core"
 	"ssrank/internal/leaderelect"
@@ -46,9 +47,12 @@ func DefaultParams() Params {
 
 // Protocol is the self-stabilizing protocol StableRanking (Protocol 3).
 //
-// A Protocol instance counts the resets it triggers (see Resets), so it
-// must not be shared between concurrently executing runners; construct
-// one per trial (construction is cheap).
+// All per-interaction logic reads only the immutable parameters, and
+// the reset counters are atomic, so Transition is safe to invoke
+// concurrently on disjoint state pairs — the contract the sharded
+// engine (internal/sim/shard) relies on. A Protocol instance still
+// counts the resets *it* triggers, so construct one per trial
+// (construction is cheap) rather than sharing across trials.
 type Protocol struct {
 	n        int
 	phases   core.Phases
@@ -60,8 +64,8 @@ type Protocol struct {
 	coinInit int32 // ⌈log₂ n⌉ heads required by FastLeaderElection
 	literal  bool
 
-	resets         int64
-	resetsByReason [numResetReasons]int64
+	resets         atomic.Int64
+	resetsByReason [numResetReasons]atomic.Int64
 }
 
 // ResetReason classifies why a reset was triggered; the protocol keeps
@@ -161,7 +165,7 @@ func (p *Protocol) DMax() int32 { return p.dMax }
 func (p *Protocol) CoinInit() int32 { return p.coinInit }
 
 // Resets returns the number of resets this instance has triggered.
-func (p *Protocol) Resets() int64 { return p.resets }
+func (p *Protocol) Resets() int64 { return p.resets.Load() }
 
 // ResetsFor returns the number of resets triggered for the given
 // reason.
@@ -169,7 +173,7 @@ func (p *Protocol) ResetsFor(reason ResetReason) int64 {
 	if reason >= numResetReasons {
 		return 0
 	}
-	return p.resetsByReason[reason]
+	return p.resetsByReason[reason].Load()
 }
 
 // ResetBreakdown returns a human-readable reason → count map of all
@@ -177,7 +181,7 @@ func (p *Protocol) ResetsFor(reason ResetReason) int64 {
 func (p *Protocol) ResetBreakdown() map[string]int64 {
 	out := make(map[string]int64, int(numResetReasons))
 	for r := ResetReason(0); r < numResetReasons; r++ {
-		if c := p.resetsByReason[r]; c > 0 {
+		if c := p.resetsByReason[r].Load(); c > 0 {
 			out[r.String()] = c
 		}
 	}
@@ -220,8 +224,11 @@ func (p *Protocol) triggerReset(s *State, reason ResetReason) {
 		coin = s.Coin
 	}
 	*s = State{Mode: ModeReset, Coin: coin, ResetCount: p.rMax, DelayCount: p.dMax}
-	p.resets++
-	p.resetsByReason[reason]++
+	// Atomic so concurrent shard workers may share the instance; resets
+	// are rare, so the hot path never pays for the synchronization. The
+	// totals are order-independent sums, hence still deterministic.
+	p.resets.Add(1)
+	p.resetsByReason[reason].Add(1)
 }
 
 // Transition implements the dispatcher of Protocol 3 with initiator u

@@ -29,6 +29,7 @@ import (
 	"ssrank/internal/faults"
 	"ssrank/internal/rng"
 	"ssrank/internal/sim"
+	"ssrank/internal/sim/shard"
 	"ssrank/internal/stable"
 )
 
@@ -94,6 +95,20 @@ type Config struct {
 	MaxInteractions int64
 	// Epsilon is the range slack for Interval (default 1.0).
 	Epsilon float64
+	// Shards, when > 1, executes the run on the sharded population
+	// engine (internal/sim/shard): agents are partitioned into Shards
+	// contiguous ranges whose interactions apply concurrently between
+	// deterministic batch barriers. The result is a pure function of
+	// (Config incl. Shards) — it differs from the serial engine's
+	// trajectory but follows the same law, and does not depend on
+	// ShardWorkers. Worth it for very large populations (n ≥ ~10⁵) on
+	// multi-core machines; below that the serial engine is typically
+	// faster outright (DESIGN.md §3.2).
+	Shards int
+	// ShardWorkers bounds the shard worker pool when Shards > 1:
+	// < 1 means one worker per CPU. It trades wall clock for cores
+	// only; the Result is identical at every setting.
+	ShardWorkers int
 }
 
 // Result reports a completed run.
@@ -156,6 +171,22 @@ func Run(cfg Config) (Result, error) {
 	}
 }
 
+// runRanking executes protocol p from init until valid holds (polled
+// on the engine's default cadence) on the engine cfg selects: the
+// serial sim.Runner, or the sharded runner when cfg.Shards > 1. It
+// returns the final configuration and the interaction count alongside
+// any budget-exhaustion error.
+func runRanking[S any, P sim.Protocol[S]](cfg Config, p P, init []S, valid func([]S) bool) ([]S, int64, error) {
+	if cfg.Shards > 1 {
+		r := shard.New[S](p, init, cfg.Seed, cfg.Shards, cfg.ShardWorkers)
+		_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
+		return r.States(), r.Steps(), err
+	}
+	r := sim.New[S](p, init, cfg.Seed)
+	_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
+	return r.States(), r.Steps(), err
+}
+
 func defaultBudget(n int, p Protocol) int64 {
 	lg := math.Log2(float64(n))
 	switch p {
@@ -183,18 +214,17 @@ func runStable(cfg Config) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("ssrank: unknown init %q", cfg.Init)
 	}
-	r := sim.New[stable.State](p, init, cfg.Seed)
-	_, err := r.RunUntil(stable.Valid, 0, cfg.MaxInteractions)
+	states, steps, err := runRanking(cfg, p, init, stable.Valid)
 	res := Result{
-		Ranks:          stableRanks(r.States()),
-		Interactions:   r.Steps(),
+		Ranks:          stableRanks(states),
+		Interactions:   steps,
 		Converged:      err == nil,
-		Leader:         stable.LeaderRank1(r.States()),
+		Leader:         stable.LeaderRank1(states),
 		Resets:         p.Resets(),
 		ResetBreakdown: p.ResetBreakdown(),
 	}
 	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
 	}
 	return res, nil
 }
@@ -214,11 +244,10 @@ func runCore(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("ssrank: protocol %q supports only the fresh init (it is not self-stabilizing)", cfg.Protocol)
 	}
 	p := core.New(cfg.N, core.DefaultParams())
-	r := sim.New[core.State](p, p.InitialStates(), cfg.Seed)
-	_, err := r.RunUntil(core.Valid, 0, cfg.MaxInteractions)
-	res := Result{Interactions: r.Steps(), Converged: err == nil, Leader: -1}
+	states, steps, err := runRanking(cfg, p, p.InitialStates(), core.Valid)
+	res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
 	res.Ranks = make([]int, cfg.N)
-	for i, s := range r.States() {
+	for i, s := range states {
 		if s.Kind == core.KindRanked {
 			res.Ranks[i] = int(s.Rank)
 			if s.Rank == 1 {
@@ -227,7 +256,7 @@ func runCore(cfg Config) (Result, error) {
 		}
 	}
 	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
 	}
 	return res, nil
 }
@@ -247,18 +276,17 @@ func runCai(cfg Config) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("ssrank: protocol %q supports inits %q and %q", cfg.Protocol, InitFresh, InitRandom)
 	}
-	r := sim.New[cai.State](p, init, cfg.Seed)
-	_, err := r.RunUntil(cai.Valid, 0, cfg.MaxInteractions)
-	res := Result{Interactions: r.Steps(), Converged: err == nil, Leader: -1}
+	states, steps, err := runRanking(cfg, p, init, cai.Valid)
+	res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
 	res.Ranks = make([]int, cfg.N)
-	for i, s := range r.States() {
+	for i, s := range states {
 		res.Ranks[i] = int(s)
 		if s == 1 {
 			res.Leader = i
 		}
 	}
 	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
 	}
 	return res, nil
 }
@@ -268,11 +296,10 @@ func runAware(cfg Config) (Result, error) {
 	if cfg.Init != InitFresh {
 		return Result{}, fmt.Errorf("ssrank: protocol %q currently supports only the fresh init", cfg.Protocol)
 	}
-	r := sim.New[aware.State](p, p.InitialStates(), cfg.Seed)
-	_, err := r.RunUntil(aware.Valid, 0, cfg.MaxInteractions)
-	res := Result{Interactions: r.Steps(), Converged: err == nil, Leader: -1, Resets: p.Resets()}
+	states, steps, err := runRanking(cfg, p, p.InitialStates(), aware.Valid)
+	res := Result{Interactions: steps, Converged: err == nil, Leader: -1, Resets: p.Resets()}
 	res.Ranks = make([]int, cfg.N)
-	for i, s := range r.States() {
+	for i, s := range states {
 		if s.Mode == aware.ModeRanked {
 			res.Ranks[i] = int(s.Rank)
 			if s.Rank == 1 {
@@ -281,7 +308,7 @@ func runAware(cfg Config) (Result, error) {
 		}
 	}
 	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
 	}
 	return res, nil
 }
@@ -291,18 +318,17 @@ func runInterval(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("ssrank: protocol %q supports only the fresh init (it is not self-stabilizing)", cfg.Protocol)
 	}
 	p := interval.New(cfg.N, cfg.Epsilon)
-	r := sim.New[interval.State](p, p.InitialStates(), cfg.Seed)
-	_, err := r.RunUntil(interval.Valid, 0, cfg.MaxInteractions)
-	res := Result{Interactions: r.Steps(), Converged: err == nil, Leader: -1}
+	states, steps, err := runRanking(cfg, p, p.InitialStates(), interval.Valid)
+	res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
 	res.Ranks = make([]int, cfg.N)
-	for i, rk := range interval.Ranks(r.States()) {
+	for i, rk := range interval.Ranks(states) {
 		res.Ranks[i] = int(rk)
 		if rk == 1 {
 			res.Leader = i
 		}
 	}
 	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, r.Steps(), ErrNotConverged)
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
 	}
 	return res, nil
 }
