@@ -16,6 +16,10 @@
 // gate for figure-level benchmarks, whose end-to-end wall clock is too
 // noisy on shared runners for a hard threshold but worth tracking as a
 // trajectory.
+//
+// In both modes the report ends with a one-line summary — the
+// geometric mean of the per-benchmark ns/op ratios versus the baseline
+// — so the uploaded CI artifact characterizes a run at a glance.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -111,6 +116,7 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	}
 
 	failed := false
+	logSum, compared := 0.0, 0
 	for _, name := range names {
 		cur := current[name]
 		ref, ok := baseNs[name]
@@ -120,6 +126,8 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		}
 		delete(baseNs, name)
 		change := cur/ref - 1
+		logSum += math.Log(cur / ref)
+		compared++
 		status := "ok  "
 		if change > *threshold {
 			status = "FAIL"
@@ -133,6 +141,13 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	}
 	for name := range baseNs {
 		fmt.Fprintf(stdout, "SKIP %-28s not present in the benchmark output\n", name)
+	}
+	if compared > 0 {
+		// One-line summary for the CI artifact: the geometric mean of
+		// the per-benchmark ns/op ratios, the scale-free average that
+		// treats a 7 ns and a 30 ns benchmark symmetrically.
+		fmt.Fprintf(stdout, "geomean ns/op delta %+.1f%% across %d benchmarks\n",
+			100*(math.Exp(logSum/float64(compared))-1), compared)
 	}
 	if failed {
 		if *warn {

@@ -117,6 +117,41 @@ func TestRunWarnReportsWithoutFailing(t *testing.T) {
 	}
 }
 
+// TestGeomeanLine pins the one-line summary: present and correct in
+// the hard mode, and still printed in -warn mode (the artifact's
+// at-a-glance characterization must never depend on the gate flavor).
+func TestGeomeanLine(t *testing.T) {
+	// Two compared benchmarks with ratios 1.3 and 1.0/1.3: the geomean
+	// is exactly 1 (+0.0%), while the arithmetic mean would not be —
+	// which is the property the summary is chosen for.
+	base := writeBaseline(t, `{"benchmarks": [
+		{"name": "BenchmarkTransitionCore", "ns_per_op": 923.0},
+		{"name": "BenchmarkTransitionCai", "ns_per_op": 294.0}
+	]}`)
+	out := `BenchmarkTransitionCore-8 1000 1199.9 ns/op
+BenchmarkTransitionCai-8 1000 226.2 ns/op
+`
+	var stdout, stderr strings.Builder
+	code := run(strings.NewReader(out), &stdout, &stderr,
+		[]string{"-baseline", base, "-match", "^BenchmarkTransition", "-threshold", "0.5"})
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "geomean ns/op delta +0.0% across 2 benchmarks") {
+		t.Fatalf("missing or wrong geomean line:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	code = run(strings.NewReader(out), &stdout, &stderr,
+		[]string{"-baseline", base, "-match", "^BenchmarkTransition", "-threshold", "0.1", "-warn"})
+	if code != 0 {
+		t.Fatalf("exit %d in -warn mode\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "geomean ns/op delta") {
+		t.Fatalf("geomean line missing in -warn mode:\n%s", stdout.String())
+	}
+}
+
 func TestRunRejectsEmptySelection(t *testing.T) {
 	base := writeBaseline(t, sampleBaseline)
 	var out, errb strings.Builder

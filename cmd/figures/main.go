@@ -7,6 +7,8 @@
 //	figures -parallel 1              # serial replications (same output)
 //	figures -e E1 -shards 4          # sharded engine inside each trial
 //	                                 # (same CSV at every -parallel)
+//	figures -e E4 -shards auto       # shard count derived per n from
+//	                                 # the population and core count
 //	figures -e E2 -precision 0.05 -maxtrials 200 -progress
 //	                                 # CI-adaptive: replicate each loop
 //	                                 # until its 95% CI half-width is
@@ -30,6 +32,7 @@ import (
 	"strings"
 
 	"ssrank/internal/expt"
+	"ssrank/internal/sim/shard"
 )
 
 func main() {
@@ -44,7 +47,7 @@ func run() int {
 		e         = flag.String("e", "", "alias of -only")
 		seed      = flag.Uint64("seed", 0x5eed, "experiment seed")
 		parallel  = flag.Int("parallel", 0, "replication workers: 0 = one per CPU, 1 = serial (output is identical either way)")
-		shards    = flag.Int("shards", 0, "run single trials of the large-n experiments (E1, E2, E4, E5) on this many population shards; output depends on the shard count but not on -parallel")
+		shards    = flag.String("shards", "0", "run single trials of the large-n experiments (E1, E2, E4, E5) on this many population shards, or 'auto' to derive the count from n and the core count; output depends on the resolved shard count but not on -parallel")
 		precision = flag.Float64("precision", 0, "stop each replication loop once the 95% CI half-width of its statistic falls below this fraction of the mean (0 = fixed trial counts)")
 		maxtrials = flag.Int("maxtrials", 0, "override per-loop replication trial ceilings (0 = generator defaults); raise it to give -precision room")
 		progress  = flag.Bool("progress", false, "stream per-trial replication progress to stderr")
@@ -55,8 +58,13 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "figures: -precision must be >= 0")
 		return 2
 	}
+	shardCount, err := shard.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 2
+	}
 	opts := expt.Options{
-		Seed: *seed, Quick: *quick, Workers: *parallel, Shards: *shards,
+		Seed: *seed, Quick: *quick, Workers: *parallel, Shards: shardCount,
 		Precision: *precision, MaxTrials: *maxtrials,
 	}
 	if *progress {

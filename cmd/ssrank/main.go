@@ -23,6 +23,7 @@ import (
 	"ssrank"
 	"ssrank/internal/sim"
 	"ssrank/internal/sim/replicate"
+	"ssrank/internal/sim/shard"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
 	"ssrank/internal/trace"
@@ -39,7 +40,7 @@ func run() int {
 		init      = flag.String("init", "fresh", "initial configuration (stable): fresh | worst-case | random | fig3")
 		seed      = flag.Uint64("seed", 1, "scheduler seed (runs are deterministic per seed)")
 		budget    = flag.Int64("budget", 0, "interaction budget (0 = generous default)")
-		shards    = flag.Int("shards", 0, "run the population on this many shards (intra-run parallelism; results depend on the shard count, not on the worker pool)")
+		shards    = flag.String("shards", "0", "run the population on this many shards, or 'auto' to derive the count from -n and the core count (intra-run parallelism; results depend on the resolved shard count, not on the worker pool)")
 		epsilon   = flag.Float64("epsilon", 1.0, "range slack for the interval protocol")
 		verbose   = flag.Bool("v", false, "print the full rank assignment")
 		traceOut  = flag.String("trace", "", "write a per-n-interactions CSV time series to this file (stable protocol only)")
@@ -53,6 +54,11 @@ func run() int {
 
 	if *parallel != 0 && *trials <= 0 {
 		fmt.Fprintln(os.Stderr, "ssrank: -parallel only applies to -trials replication sweeps")
+		return 2
+	}
+	shardCount, err := shard.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssrank:", err)
 		return 2
 	}
 	if (*precision != 0 || *maxtrials != 0 || *progress) && *trials <= 0 {
@@ -86,7 +92,7 @@ func run() int {
 			Init:            ssrank.Init(*init),
 			MaxInteractions: *budget,
 			Epsilon:         *epsilon,
-			Shards:          *shards,
+			Shards:          shardCount,
 			// Within a replication sweep the trial pool owns the
 			// cores; sharded trials run their phases serially.
 			ShardWorkers: 1,
@@ -98,7 +104,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ssrank: -trace supports only -protocol stable")
 			return 2
 		}
-		if *shards > 1 {
+		if shardCount != 0 && shardCount != 1 {
 			fmt.Fprintln(os.Stderr, "ssrank: -trace and -shards are mutually exclusive")
 			return 2
 		}
@@ -112,7 +118,7 @@ func run() int {
 		Seed:            *seed,
 		MaxInteractions: *budget,
 		Epsilon:         *epsilon,
-		Shards:          *shards,
+		Shards:          shardCount,
 	})
 	if err != nil && !errors.Is(err, ssrank.ErrNotConverged) {
 		fmt.Fprintln(os.Stderr, "ssrank:", err)

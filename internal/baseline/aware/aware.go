@@ -183,6 +183,16 @@ func (p *Protocol) Transition(u, v *State) {
 	}
 }
 
+// TransitionT applies one interaction exactly like Transition and
+// reports which agents' rank projection (RankOf) changed — the
+// TouchReporter capability behind the engine's touch-aware exact
+// stopping.
+func (p *Protocol) TransitionT(u, v *State) (uTouched, vTouched bool) {
+	ru, rv := RankOf(u), RankOf(v)
+	p.Transition(u, v)
+	return RankOf(u) != ru, RankOf(v) != rv
+}
+
 // rank is the aware-leader main protocol.
 func (p *Protocol) rank(u, v *State) {
 	n := int32(p.n)

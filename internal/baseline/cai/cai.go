@@ -36,9 +36,19 @@ func (p *Protocol) N() int { return int(p.n) }
 
 // Transition bumps the responder's label cyclically on collision.
 func (p *Protocol) Transition(u, v *State) {
+	p.TransitionT(u, v)
+}
+
+// TransitionT applies one interaction and reports which agents' label
+// (the rank projection: the whole state) changed — the TouchReporter
+// capability behind the engine's touch-aware exact stopping. Only a
+// collision moves the responder; the initiator never changes.
+func (p *Protocol) TransitionT(u, v *State) (uTouched, vTouched bool) {
 	if *u == *v {
 		*v = *v%State(p.n) + 1
+		return false, true
 	}
+	return false, false
 }
 
 // InitialStates returns the canonical adversarial start: every agent

@@ -76,6 +76,18 @@ func (p *Protocol) InitialStates() []State {
 
 // Transition applies the split/evade rules.
 func (p *Protocol) Transition(u, v *State) {
+	p.TransitionT(u, v)
+}
+
+// TransitionT applies one interaction and reports which agents' owned
+// interval (the projection the disjointness tracker watches) changed —
+// the TouchReporter capability behind the engine's touch-aware exact
+// stopping. Every rule that fires moves at least one interval, so the
+// report falls straight out of the rule dispatch: a split moves both
+// endpoints, a singleton restart and an evasion move exactly one
+// agent, and disjoint pairs (all of them, once the configuration is
+// silent) report nothing.
+func (p *Protocol) TransitionT(u, v *State) (uTouched, vTouched bool) {
 	switch {
 	case u.Lo == v.Lo && u.Hi == v.Hi:
 		if u.Hi > u.Lo {
@@ -83,21 +95,25 @@ func (p *Protocol) Transition(u, v *State) {
 			mid := u.Lo + (u.Hi-u.Lo)/2
 			u.Hi = mid
 			v.Lo = mid + 1
-		} else {
-			// Equal singletons: the responder restarts from the root
-			// and is re-placed by the split/evade rules on later
-			// meetings (a fresh descent, steered away from occupied
-			// blocks). A merely local escape cannot leave a fully
-			// occupied subtree, and without any escape the pair is a
-			// dead end whenever the identifier space is tight.
-			v.Lo, v.Hi = 1, p.m
+			return true, true
 		}
+		// Equal singletons: the responder restarts from the root
+		// and is re-placed by the split/evade rules on later
+		// meetings (a fresh descent, steered away from occupied
+		// blocks). A merely local escape cannot leave a fully
+		// occupied subtree, and without any escape the pair is a
+		// dead end whenever the identifier space is tight.
+		v.Lo, v.Hi = 1, p.m
+		return false, true
 	case u.Lo <= v.Lo && v.Hi <= u.Hi:
 		// u strictly contains v: u evades into the half avoiding v.
 		u.evade(v)
+		return true, false
 	case v.Lo <= u.Lo && u.Hi <= v.Hi:
 		v.evade(u)
+		return false, true
 	}
+	return false, false
 }
 
 // evade moves s to the half of its interval that does not contain the

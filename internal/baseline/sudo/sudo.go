@@ -65,16 +65,28 @@ func (p *Protocol) TMax() int32 { return p.tMax }
 
 // Transition applies one interaction.
 func (p *Protocol) Transition(u, v *State) {
+	p.TransitionT(u, v)
+}
+
+// TransitionT applies one interaction and reports which agents' leader
+// bit (the projection the unique-leader tracker watches) changed — the
+// TouchReporter capability behind the engine's touch-aware exact
+// stopping. Timeout churn is deliberately not a touch: it never moves
+// the leader count, so the epidemic steady state (the overwhelming
+// majority of interactions) reports nothing.
+func (p *Protocol) TransitionT(u, v *State) (uTouched, vTouched bool) {
 	switch {
 	case u.Leader && v.Leader:
 		// Duel: the responder yields.
 		v.Leader = false
 		u.Timeout = p.tMax
 		v.Timeout = p.tMax
+		return false, true
 	case u.Leader || v.Leader:
 		// A leader refreshes both timeouts.
 		u.Timeout = p.tMax
 		v.Timeout = p.tMax
+		return false, false
 	default:
 		// Freshness epidemic with decay.
 		m := u.Timeout
@@ -91,7 +103,9 @@ func (p *Protocol) Transition(u, v *State) {
 		if m == 0 {
 			v.Leader = true
 			u.Timeout, v.Timeout = p.tMax, p.tMax
+			return false, true
 		}
+		return false, false
 	}
 }
 

@@ -71,8 +71,20 @@ func (p *Protocol) InitialStates() []State {
 }
 
 // Transition implements Protocol 1 (SpaceEfficientRanking) with
-// initiator u and responder v.
+// initiator u and responder v. It delegates to TransitionT (the body
+// is small enough to inline, so callers pay no extra call layer).
 func (p *Protocol) Transition(u, v *State) {
+	p.TransitionT(u, v)
+}
+
+// TransitionT is the Protocol 1 dispatcher, additionally reporting
+// which agents' rank projection (RankOf: the rank while KindRanked, 0
+// otherwise) changed — the TouchReporter capability behind the
+// engine's touch-aware exact stopping. The leader-election and
+// epidemic branches move agents between KindLE, KindWait and KindPhase
+// only (no ranks exist there), so the report falls out of the ranking
+// rules' mutation sites and the no-op majority pays nothing.
+func (p *Protocol) TransitionT(u, v *State) (uTouched, vTouched bool) {
 	// Lines 1–2: two leader-electing agents run the LE substrate.
 	if u.Kind == KindLE && v.Kind == KindLE {
 		p.le.Transition(&u.LE, &v.LE)
@@ -80,12 +92,12 @@ func (p *Protocol) Transition(u, v *State) {
 		// the (unique, w.h.p.) waiting agent.
 		if leaderelect.IsDoneLeader(&u.LE) {
 			*u = WaitState(p.waitInit)
-			return
+			return false, false
 		}
 		if leaderelect.IsDoneLeader(&v.LE) {
 			*v = WaitState(p.waitInit)
 		}
-		return
+		return false, false
 	}
 
 	// Lines 3–6 also cover a done leader meeting a non-LE agent; the
@@ -93,38 +105,49 @@ func (p *Protocol) Transition(u, v *State) {
 	// never demoted to a phase agent.
 	if u.Kind == KindLE && leaderelect.IsDoneLeader(&u.LE) {
 		*u = WaitState(p.waitInit)
-		return
+		return false, false
 	}
 	if v.Kind == KindLE && leaderelect.IsDoneLeader(&v.LE) {
 		*v = WaitState(p.waitInit)
-		return
+		return false, false
 	}
 
 	// Lines 7–9: one-way epidemic — a leader-electing agent meeting a
 	// non-leader-electing agent forgets its LE state and enters phase 1.
 	if u.Kind == KindLE {
 		*u = PhaseState(1)
-		return
+		return false, false
 	}
 	if v.Kind == KindLE {
 		*v = PhaseState(1)
-		return
+		return false, false
 	}
 
 	// Lines 10–11: both agents are past leader election.
-	p.Ranking(u, v)
+	_, uTouched, vTouched = p.rankingT(u, v)
+	return uTouched, vTouched
 }
 
 // Ranking implements Protocol 2 with initiator u and responder v. It is
-// exported because Ranking+ (internal/stable) reuses it verbatim as its
-// "base protocol".
+// exported because Ranking+ (internal/stable) mirrors it as its "base
+// protocol" and cross-validation tests drive it directly.
 //
 // It reports whether u became a waiting agent during the interaction
 // (Protocol 4 line 17 needs this).
 func (p *Protocol) Ranking(u, v *State) (uBecameWaiting bool) {
+	uBecameWaiting, _, _ = p.rankingT(u, v)
+	return uBecameWaiting
+}
+
+// rankingT is the Protocol 2 transition, reporting rank-projection
+// changes from its mutation sites (a rank assigned, the unaware
+// leader's rank advancing or being traded for waiting, the waiting
+// agent re-entering with rank 1) so the no-op majority reports at zero
+// cost.
+func (p *Protocol) rankingT(u, v *State) (uBecameWaiting, uTouched, vTouched bool) {
 	// Line 1: if v is not a phase agent, do nothing.
 	if v.Kind != KindPhase {
-		return false
+		return false, false, false
 	}
 	switch u.Kind {
 	case KindRanked:
@@ -135,13 +158,15 @@ func (p *Protocol) Ranking(u, v *State) (uBecameWaiting bool) {
 			// Lines 4–9: u is the unaware leader for phase k and
 			// assigns the next rank of the phase to v.
 			*v = RankedState(p.phases.F(k+1) + u.Rank)
+			vTouched = true
 			if u.Rank < width {
-				u.Rank++ // line 7: phase not done
+				u.Rank++ // line 7: phase not done; the rank value moved
+				uTouched = true
 			} else if k < p.phases.kMax {
 				// Lines 8–9: end of a non-final phase — the leader
 				// forgets its rank and waits out the phase transition.
 				*u = WaitState(p.waitInit)
-				return true
+				return true, true, true
 			}
 			// k = kMax: the leader keeps rank 1 (width(kMax) may exceed
 			// 1 only for k < kMax); the protocol is silent hereafter.
@@ -166,7 +191,8 @@ func (p *Protocol) Ranking(u, v *State) (uBecameWaiting bool) {
 		u.Wait--
 		if u.Wait <= 0 {
 			*u = RankedState(1)
+			uTouched = true
 		}
 	}
-	return false
+	return false, uTouched, vTouched
 }

@@ -48,7 +48,7 @@ func BaselineComparison(opts Options) Figure {
 		caiOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := cai.New(n)
 			r := sim.New[cai.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(cai.Valid, 0, cap)
+			steps, err := sim.RunUntilCondT(r, sim.NewRankCond(0, cai.RankOf), cap)
 			return steps, err == nil
 		}
 		caiBud := pilotBudget(opts, caiLabel, uint64(61*n)^0xca1,
@@ -74,7 +74,7 @@ func BaselineComparison(opts Options) Figure {
 		stOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := stable.New(n, stable.DefaultParams())
 			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(stable.Valid, 0, cap)
+			steps, err := sim.RunUntilCondT(r, sim.NewRankCond(0, stable.RankOf), cap)
 			return steps, err == nil
 		}
 		stBud := pilotBudget(opts, stLabel, uint64(61*n)^0x57ab1e, budget(n, 3000), stOnce)
@@ -139,7 +139,7 @@ func TradeoffEpsilon(opts Options) Figure {
 		runOnce := func(seed uint64, cap int64) (int64, bool) {
 			pt := interval.New(n, eps)
 			r := sim.New[interval.State](pt, pt.InitialStates(), seed)
-			steps, err := r.RunUntil(interval.Valid, 0, cap)
+			steps, err := sim.RunUntilCondT(r, interval.NewDisjointCond(pt.M()), cap)
 			return steps, err == nil
 		}
 		bud := pilotBudget(opts, label, uint64(eps*1000)^uint64(n), int64(5000)*int64(n)*int64(n), runOnce)

@@ -42,7 +42,12 @@ type Options struct {
 	// serial engine and its pinned golden outputs. Sharding pays off
 	// when single trials dominate (large n, few replications): within
 	// a wide replication loop the trial pool is already using the
-	// cores.
+	// cores. The sentinel AutoShards (-1) derives the count per
+	// population size from n and the core count (shard.AutoShards),
+	// staying serial below the size where sharding pays; note that the
+	// resolved count — and hence the output — then depends on the
+	// machine's GOMAXPROCS, so pinned comparisons should pass an
+	// explicit count.
 	Shards int
 	// Precision, when > 0, enables CI-adaptive stopping: each
 	// replication loop that designates a statistic stops as soon as
@@ -215,31 +220,71 @@ func streamTrials[R any](o Options, label string, salt uint64, trials int, stat 
 	return replicate.ReplicateStream(s, run)
 }
 
-// runner is the single-trial engine surface the generators drive: both
-// sim.Runner and shard.Runner satisfy it, and all calls are
-// chunk-level (poll cadence ≥ n interactions), so the interface
-// indirection never sits on a per-interaction path.
+// AutoShards is the Options.Shards sentinel that derives the shard
+// count from the population size and the core count (shard.AutoShards)
+// instead of fixing it.
+const AutoShards = shard.Auto
+
+// shardsFor resolves the effective shard count for one trial's
+// population size.
+func (o Options) shardsFor(n int) int {
+	if o.Shards == AutoShards {
+		return shard.AutoShards(n, 0)
+	}
+	return o.Shards
+}
+
+// runner is the single-trial engine surface the generators drive.
+// All calls except RunUntilExact are chunk-level (poll cadence ≥ n
+// interactions), so the interface indirection never sits on a
+// per-interaction path; RunUntilExact dispatches once to the engine's
+// touch-aware loop, which devirtualizes the per-interaction work.
 type runner[S any] interface {
 	Run(k int64)
 	RunUntil(stop func(states []S) bool, checkEvery, maxSteps int64) (int64, error)
+	// RunUntilExact stops a stabilization run at the hitting time of
+	// the stop condition: on the serial engine exactly, via the
+	// incremental tracker and the protocol's touch reporting
+	// (sim.RunUntilCondT); on the sharded engine via the polled scan,
+	// quantized to the poll cadence — a sharded trajectory is only
+	// defined at batch barriers, so mid-batch stops are not meaningful
+	// there (DESIGN.md §3).
+	RunUntilExact(cond sim.Condition[S], stop func(states []S) bool, maxSteps int64) (int64, error)
 	Observe(obs func(steps int64, states []S), every, maxSteps int64, stop func(states []S) bool) int64
 	States() []S
 	Steps() int64
 }
 
+// exactSerial adapts sim.Runner to the runner surface, routing
+// RunUntilExact through the touch-aware exact-stop path.
+type exactSerial[S any, P sim.TouchReporter[S]] struct{ *sim.Runner[S, P] }
+
+func (r exactSerial[S, P]) RunUntilExact(cond sim.Condition[S], _ func(states []S) bool, maxSteps int64) (int64, error) {
+	return sim.RunUntilCondT(r.Runner, cond, maxSteps)
+}
+
+// polledShard adapts shard.Runner, keeping the polled scan for exact
+// requests (see runner.RunUntilExact).
+type polledShard[S any, P sim.Protocol[S]] struct{ *shard.Runner[S, P] }
+
+func (r polledShard[S, P]) RunUntilExact(_ sim.Condition[S], stop func(states []S) bool, maxSteps int64) (int64, error) {
+	return r.RunUntil(stop, 0, maxSteps)
+}
+
 // newRunner returns the engine one trial runs on: the sharded runner
-// when o.Shards > 1, else the serial sim.Runner. workers bounds the
-// shard worker pool; single-trajectory generators pass o.Workers
-// (intra-run parallelism is the only parallelism they have), while
-// replicated loops pass 1 — their trial pool already owns the cores,
-// and nesting o.Workers shard workers inside o.Workers trial workers
-// would only oversubscribe. Trajectories depend on (seed, o.Shards)
-// only, never on workers, so figures stay byte-identical either way.
-func newRunner[S any, P sim.Protocol[S]](o Options, workers int, p P, states []S, seed uint64) runner[S] {
-	if o.Shards > 1 {
-		return shard.New[S](p, states, seed, o.Shards, workers)
+// when the options resolve to more than one shard for this population,
+// else the serial sim.Runner. workers bounds the shard worker pool;
+// single-trajectory generators pass o.Workers (intra-run parallelism
+// is the only parallelism they have), while replicated loops pass 1 —
+// their trial pool already owns the cores, and nesting o.Workers shard
+// workers inside o.Workers trial workers would only oversubscribe.
+// Trajectories depend on (seed, resolved shard count) only, never on
+// workers, so figures stay byte-identical either way.
+func newRunner[S any, P sim.TouchReporter[S]](o Options, workers int, p P, states []S, seed uint64) runner[S] {
+	if s := o.shardsFor(len(states)); s > 1 {
+		return polledShard[S, P]{shard.New[S](p, states, seed, s, workers)}
 	}
-	return sim.New[S](p, states, seed)
+	return exactSerial[S, P]{sim.New[S](p, states, seed)}
 }
 
 // statSteps designates a stabilization loop's interaction count as its

@@ -58,12 +58,24 @@ func LooseVsSilent(opts Options) Figure {
 			func(_ int, seed uint64) looseR {
 				p := sudo.New(n, 8)
 				r := sim.New[sudo.State](p, p.InitialStates(), seed)
-				steps, err := r.RunUntil(sudo.UniqueLeader, 0, int64(1000*float64(n)*lg))
+				// Exact stopping matters doubly here: uniqueness is
+				// transient for loose LE, so a polled scan can sail
+				// through a short uniqueness window entirely.
+				steps, err := sim.RunUntilCondT(r, sudo.NewLeaderCond(), int64(1000*float64(n)*lg))
 				if err != nil {
 					return looseR{}
 				}
 				out := looseR{stepsResult{float64(steps), true}, true}
 				// Holding probe: does the unique leader survive the budget?
+				// The engine may sit up to one sub-batch past the hitting
+				// time (the RunUntilCondT contract — uniqueness is not a
+				// silent condition), so check the probe's start state
+				// first: if uniqueness already broke in that window, the
+				// hold failed immediately.
+				if !sudo.UniqueLeader(r.States()) {
+					out.held = false
+					return out
+				}
 				probe := int64(holdBudgetFactor * float64(n) * lg / 100)
 				for i := 0; i < 100; i++ {
 					r.Run(probe)
@@ -89,7 +101,7 @@ func LooseVsSilent(opts Options) Figure {
 		silentOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := stable.New(n, stable.DefaultParams())
 			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(stable.Valid, 0, cap)
+			steps, err := sim.RunUntilCondT(r, sim.NewRankCond(0, stable.RankOf), cap)
 			return steps, err == nil
 		}
 		silentBud := pilotBudget(opts, silentLabel, uint64(18*n)^0x511e47, budget(n, 3000), silentOnce)

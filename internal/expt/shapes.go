@@ -35,7 +35,7 @@ func Theorem1Shape(opts Options) Figure {
 		runOnce := func(seed uint64, cap int64) (int64, bool) {
 			p := core.New(n, core.DefaultParams())
 			r := newRunner[core.State](opts, 1, p, p.InitialStates(), seed)
-			steps, err := r.RunUntil(core.Valid, 0, cap)
+			steps, err := r.RunUntilExact(sim.NewRankCond(0, core.RankOf), core.Valid, cap)
 			return steps, err == nil
 		}
 		bud := pilotBudget(opts, label, uint64(3*n), budget(n, 200), runOnce)
@@ -105,7 +105,7 @@ func Theorem2Shape(opts Options) Figure {
 			runOnce := func(seed uint64, cap int64) (int64, bool, int64) {
 				p := stable.New(n, stable.DefaultParams())
 				r := newRunner[stable.State](opts, 1, p, init.make(p, rng.New(seed^0x1417)), seed)
-				steps, err := r.RunUntil(stable.Valid, 0, cap)
+				steps, err := r.RunUntilExact(sim.NewRankCond(0, stable.RankOf), stable.Valid, cap)
 				return steps, err == nil, p.Resets()
 			}
 			bud := pilotBudget(opts, label, uint64(n*(ii+1)), budget(n, 3000),

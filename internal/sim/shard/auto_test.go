@@ -1,0 +1,24 @@
+package shard
+
+import "testing"
+
+func TestAutoShards(t *testing.T) {
+	for _, tc := range []struct {
+		n, procs, want int
+	}{
+		{1000, 8, 1},        // small n: serial no matter the cores
+		{31999, 64, 1},      // just below the threshold
+		{32768, 1, 1},       // single core: nothing to parallelize
+		{32768, 8, 4},       // slab floor caps below the core count
+		{100_000, 8, 8},     // one shard per core
+		{100_000, 64, 12},   // slab floor: 100000/8192
+		{1_000_000, 16, 16}, // cores are the binding constraint again
+	} {
+		if got := AutoShards(tc.n, tc.procs); got != tc.want {
+			t.Errorf("AutoShards(%d, %d) = %d, want %d", tc.n, tc.procs, got, tc.want)
+		}
+	}
+	if got := AutoShards(100_000, 0); got < 1 {
+		t.Errorf("AutoShards with derived procs returned %d", got)
+	}
+}

@@ -53,6 +53,8 @@ package shard
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 
 	"ssrank/internal/rng"
@@ -69,6 +71,61 @@ const maxBatch = 16384
 // minBatch keeps tiny populations from paying a barrier every handful
 // of interactions.
 const minBatch = 512
+
+// autoMinN is the population size below which AutoShards stays serial:
+// the classification and barrier overhead only pays for itself once a
+// single trajectory dominates wall clock (DESIGN.md §3.2 — at n ≤ 10⁴
+// the serial engine typically wins outright).
+const autoMinN = 32768
+
+// autoSlab is the minimum per-shard slab AutoShards maintains, so
+// barrier synchronization stays amortized over meaningful per-shard
+// work.
+const autoSlab = 8192
+
+// Auto is the shard-count sentinel meaning "derive the count from the
+// population size and the core count" (see AutoShards). The facade and
+// experiment layers re-export it (ssrank.AutoShards, expt.AutoShards).
+const Auto = -1
+
+// ParseShards parses a CLI -shards value: a non-negative shard count,
+// or "auto" for the Auto sentinel. Shared by both CLIs so the flag's
+// syntax and error wording cannot drift between them.
+func ParseShards(s string) (int, error) {
+	if strings.EqualFold(s, "auto") {
+		return Auto, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("-shards must be a non-negative count or 'auto' (got %q)", s)
+	}
+	return v, nil
+}
+
+// AutoShards picks a shard count for a population of n agents on a
+// machine with procs available cores (procs < 1 reads
+// runtime.GOMAXPROCS(0)): serial below autoMinN agents or on a single
+// core, otherwise one shard per core capped so every shard keeps a
+// slab of at least autoSlab agents. It is the resolution behind the
+// "-shards auto" CLI setting and expt.AutoShards; callers that get 1
+// back should use the serial engine directly (a one-shard sharded
+// runner still pays classification overhead).
+func AutoShards(n, procs int) int {
+	if procs < 1 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if n < autoMinN || procs < 2 {
+		return 1
+	}
+	s := procs
+	if lim := n / autoSlab; s > lim {
+		s = lim
+	}
+	if s < 2 {
+		return 1
+	}
+	return s
+}
 
 // Runner executes a protocol over a population partitioned into
 // shards. Construct with New; the zero value is not usable. The

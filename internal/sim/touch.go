@@ -1,0 +1,142 @@
+package sim
+
+// TouchReporter is the optional protocol capability behind cheap exact
+// stopping: TransitionT applies one interaction with semantics
+// identical to Transition and additionally reports which of the two
+// agents' *condition-relevant projection* changed — the quantity the
+// protocol's incremental stop tracker watches (the rank for the
+// ranking protocols, the owned interval for the relaxed-range
+// baseline, the leader bit for loose leader election).
+//
+// The report must be sound: an agent whose projection changed must be
+// reported as touched. Implementations in this repository are exact
+// (touched ⇔ projection changed) because exactness is what makes
+// RunUntilCondT cheap — near convergence almost no interaction moves
+// the projection, so almost no interaction pays a tracker call. The
+// projection each protocol reports on is documented at its TransitionT,
+// and a property test checks the report against a recomputation of the
+// projection on every step of random and adversarial schedules.
+//
+// The interface is structural on purpose: protocol packages implement
+// TransitionT without importing sim, preserving the layering rule that
+// protocols depend only on rng.
+type TouchReporter[S any] interface {
+	Protocol[S]
+	TransitionT(u, v *S) (uTouched, vTouched bool)
+}
+
+// touchRec is one touched interaction of the current collision-free
+// sub-batch: its window-relative slot and which agents to fold.
+type touchRec struct {
+	slot int32
+	mask uint8 // 1 = initiator touched, 2 = responder touched
+}
+
+// RunUntilCondT executes interactions until the incrementally
+// maintained condition reports Done, or maxSteps interactions have been
+// executed (ErrBudgetExhausted). It is the touch-aware form of
+// Runner.RunUntilCond: the protocol's TransitionT reports which agents
+// changed condition-relevant state, and only those interactions pay
+// tracker calls — unchanged interactions, the overwhelming majority
+// near convergence, run at plain Run-loop speed.
+//
+// The engine applies each PairBatch window as a sequence of
+// collision-free sub-batches. A pre-scan is unnecessary: the split
+// point is discovered on the fly, and only collisions on *touched*
+// agents force a boundary — an untouched interaction cannot move the
+// tracked projection, so deferring its (empty) tracker work is always
+// safe. Within a sub-batch, transitions run in a tight loop while
+// touched slots are recorded; at the sub-batch boundary the recorded
+// slots are folded into the tracker in application order with a Done
+// check after each. Conflict-freedom makes the fold an exact replay:
+// no later interaction of the sub-batch has moved a recorded agent's
+// projection, so the tracker sees exactly the per-interaction
+// trajectory and the first satisfying interaction is identified
+// exactly.
+//
+// The returned step count is that exact hitting time. Because
+// transitions of the hit's sub-batch may already have been applied
+// when the fold detects Done, Steps() (and the pair stream) can sit up
+// to one sub-batch past the returned value; for the silent stop
+// conditions this engine targets (a valid ranking is a silent
+// configuration) those trailing interactions are no-ops, so the final
+// configuration is the one at the hitting time.
+func RunUntilCondT[S any, P TouchReporter[S]](r *Runner[S, P], cond Condition[S], maxSteps int64) (int64, error) {
+	cond.Init(r.states)
+	if cond.Done() {
+		return r.steps, nil
+	}
+	states := r.states
+	// marks is the collision scratch: marks[a] == epoch while agent a
+	// has a recorded-but-unfolded touch in the current sub-batch.
+	marks := make([]uint32, len(states))
+	epoch := uint32(1)
+	var pending []touchRec
+
+	// fold replays the recorded touched slots of the current sub-batch
+	// in application order. It returns the window-relative slot of the
+	// first interaction after which the condition held, or -1.
+	fold := func(as, bs []int32) int32 {
+		for _, t := range pending {
+			if t.mask&1 != 0 {
+				cond.Update(int(as[t.slot]), states)
+			}
+			if t.mask&2 != 0 {
+				cond.Update(int(bs[t.slot]), states)
+			}
+			if cond.Done() {
+				return t.slot
+			}
+		}
+		return -1
+	}
+
+	for r.steps < maxSteps {
+		as, bs := r.pairs.Window()
+		if remaining := maxSteps - r.steps; int64(len(as)) > remaining {
+			as, bs = as[:remaining], bs[:remaining]
+		}
+		pending = pending[:0]
+		np := 0
+		for i, a := range as {
+			b := bs[i]
+			if np != 0 && (marks[a] == epoch || marks[b] == epoch) {
+				// Collision with a touched agent: close the sub-batch
+				// before interaction i sees (or perturbs) a recorded
+				// projection.
+				if hit := fold(as, bs); hit >= 0 {
+					exact := r.steps + int64(hit) + 1
+					r.pairs.Advance(i)
+					r.steps += int64(i)
+					return exact, nil
+				}
+				epoch++
+				pending = pending[:0]
+				np = 0
+			}
+			ut, vt := r.proto.TransitionT(&states[a], &states[b])
+			if ut || vt {
+				var m uint8
+				if ut {
+					marks[a] = epoch
+					m = 1
+				}
+				if vt {
+					marks[b] = epoch
+					m |= 2
+				}
+				pending = append(pending, touchRec{slot: int32(i), mask: m})
+				np++
+			}
+		}
+		hit := fold(as, bs)
+		exact := r.steps + int64(hit) + 1
+		epoch++
+		r.pairs.Advance(len(as))
+		r.steps += int64(len(as))
+		if hit >= 0 {
+			return exact, nil
+		}
+	}
+	return r.steps, ErrBudgetExhausted
+}

@@ -232,31 +232,59 @@ func (p *Protocol) triggerReset(s *State, reason ResetReason) {
 }
 
 // Transition implements the dispatcher of Protocol 3 with initiator u
-// and responder v.
+// and responder v. It delegates to TransitionT (the body is small
+// enough to inline, so callers pay no extra call layer).
 func (p *Protocol) Transition(u, v *State) {
+	p.TransitionT(u, v)
+}
+
+// TransitionT is the dispatcher of Protocol 3, additionally reporting
+// which agents' rank projection (RankOf: the rank while ModeRanked, 0
+// otherwise) changed. It is the TouchReporter capability the engine's
+// touch-aware exact stopping consumes: the rank extractor is evaluated
+// here, devirtualized and per dispatch branch, instead of through an
+// indirect tracker call per interaction — the LE branches never touch
+// ranks, the reset branch can only recruit (never mint) a rank, and
+// only the main–main branch pays the full before/after comparison.
+// Interactions that leave both projections unchanged — every
+// interaction of a silent configuration, and the vast majority late in
+// a run — report (false, false) so the tracker is never consulted.
+func (p *Protocol) TransitionT(u, v *State) (uTouched, vTouched bool) {
 	switch {
 	// Line 1: PropagateReset, when either agent participates in it.
+	// PropagateReset recruits computing agents (a ranked one loses its
+	// rank) and awakens reset agents into leader election; it never
+	// creates a ranked agent, so the projection comparison reduces to
+	// "left ModeRanked".
 	case u.Mode == ModeReset || v.Mode == ModeReset:
+		ru, rv := u.Mode == ModeRanked, v.Mode == ModeRanked
 		p.propagateReset(u, v)
+		uTouched = ru && u.Mode != ModeRanked
+		vTouched = rv && v.Mode != ModeRanked
 
-	// Lines 2–3: two leader-electing agents.
+	// Lines 2–3: two leader-electing agents. FastLeaderElection moves
+	// agents between ModeLE, ModeWait and ModeReset only — no ranks.
 	case u.Mode == ModeLE && v.Mode == ModeLE:
 		p.fastLE(u, v)
 
 	// Lines 4–6: a leader-electing agent meeting a main-protocol agent
-	// forgets its LE state and joins as a phase-1 agent.
+	// forgets its LE state and joins as a phase-1 agent (no ranks).
 	case u.Mode == ModeLE && v.IsMain():
 		*u = State{Mode: ModePhase, Coin: u.Coin, Phase: 1, Alive: p.lMax}
 	case v.Mode == ModeLE && u.IsMain():
 		*v = State{Mode: ModePhase, Coin: v.Coin, Phase: 1, Alive: p.lMax}
 
-	// Lines 7–8: both agents execute the main protocol.
+	// Lines 7–8: both agents execute the main protocol, where ranks
+	// are assigned, advanced and (on detected errors) dropped;
+	// rankingPlus reports the changes from its mutation sites, so the
+	// no-op majority (e.g. two compatible ranked agents) pays nothing.
 	case u.IsMain() && v.IsMain():
-		p.rankingPlus(u, v)
+		uTouched, vTouched = p.rankingPlus(u, v)
 	}
 
 	// Lines 9–10: the responder's coin is toggled if it has one.
 	if v.HasCoin() {
 		v.Coin ^= 1
 	}
+	return uTouched, vTouched
 }

@@ -5,15 +5,21 @@ package stable
 // base protocol Ranking (Protocol 2, reimplemented over stable.State in
 // baseRanking) with error detection and liveness checking; detected
 // errors trigger PropagateReset.
-func (p *Protocol) rankingPlus(u, v *State) {
+//
+// It reports which agents' rank projection (RankOf) changed, with the
+// flags set at the mutation sites themselves: rank events are rare, so
+// the no-op majority (two compatible ranked agents meeting, liveness
+// refreshes, phase adoption) reports at zero cost — the measurement
+// the engine's touch-aware exact stopping relies on.
+func (p *Protocol) rankingPlus(u, v *State) (uTouched, vTouched bool) {
 	// Lines 1–4, error detection: duplicate ranks or two waiting agents.
 	if u.Mode == ModeRanked && v.Mode == ModeRanked && u.Rank == v.Rank {
 		p.triggerReset(u, ReasonDuplicateRank)
-		return
+		return true, false // u lost its rank; v keeps its (duplicate) one
 	}
 	if u.Mode == ModeWait && v.Mode == ModeWait {
 		p.triggerReset(u, ReasonTwoWaiting)
-		return
+		return false, false // waiting agents hold no rank
 	}
 
 	// Lines 5–11, liveness checking.
@@ -30,7 +36,7 @@ func (p *Protocol) rankingPlus(u, v *State) {
 			// space {1..Lmax}, so neither agent may keep it.
 			p.triggerReset(u, ReasonAliveExpired)
 			p.triggerReset(v, ReasonAliveExpired)
-			return
+			return false, false // both were unranked
 		}
 		u.Alive, v.Alive = m, m
 	}
@@ -42,7 +48,7 @@ func (p *Protocol) rankingPlus(u, v *State) {
 		if v.Alive <= 1 {
 			p.triggerReset(u, ReasonAliveExpired)
 			p.triggerReset(v, ReasonAliveExpired)
-			return
+			return true, false // u was ranked, v was not
 		}
 		v.Alive--
 	}
@@ -51,7 +57,7 @@ func (p *Protocol) rankingPlus(u, v *State) {
 		// v carries no coin (it is ranked); neither the liveness-refresh
 		// branch nor the base protocol applies (Protocol 2 line 1 would
 		// return immediately as well).
-		return
+		return false, false
 	}
 
 	if v.Coin == 0 {
@@ -62,16 +68,18 @@ func (p *Protocol) rankingPlus(u, v *State) {
 		if u.Mode == ModeWait || p.isUnawareLeaderFor(u, v) {
 			v.Alive = p.lMax
 		}
-		return
+		return false, false
 	}
 
 	// Lines 15–18: v's coin shows heads — execute the base protocol.
-	if p.baseRanking(u, v) {
+	became, ut, vt := p.baseRanking(u, v)
+	if became {
 		// Line 17–18: u became waiting — it regains a coin and a full
 		// liveness counter.
 		u.Coin = 0
 		u.Alive = p.lMax
 	}
+	return ut, vt
 }
 
 // isUnawareLeaderFor reports the productive-pair condition of Protocol 4
@@ -93,14 +101,18 @@ func (p *Protocol) isUnawareLeaderFor(u, v *State) bool {
 // baseRanking reimplements Ranking (Protocol 2) over stable.State,
 // including the bookkeeping Ranking+ needs: agents becoming ranked drop
 // their coin and liveness counter; the leader entering waiting is
-// reported to the caller (Protocol 4 line 17).
+// reported to the caller (Protocol 4 line 17). Like rankingPlus it
+// reports rank-projection changes from the mutation sites: a rank
+// assigned (vTouched), the unaware leader's rank advancing or being
+// given up for waiting, and the waiting agent re-entering with rank 1
+// (uTouched).
 //
 // The transition logic mirrors core.(*Protocol).Ranking exactly; the
 // equivalence is checked by a cross-validation property test.
-func (p *Protocol) baseRanking(u, v *State) (uBecameWaiting bool) {
+func (p *Protocol) baseRanking(u, v *State) (uBecameWaiting, uTouched, vTouched bool) {
 	// Line 1: if v is not a phase agent, do nothing.
 	if v.Mode != ModePhase {
-		return false
+		return false, false, false
 	}
 	switch u.Mode {
 	case ModeRanked:
@@ -110,14 +122,17 @@ func (p *Protocol) baseRanking(u, v *State) (uBecameWaiting bool) {
 		case u.Rank >= 1 && u.Rank <= width:
 			// u is the unaware leader: assign the next rank of phase k.
 			*v = Ranked(p.phases.F(k+1) + u.Rank)
+			vTouched = true
 			if u.Rank < width {
-				u.Rank++
+				u.Rank++ // the leader's rank value moved
+				uTouched = true
 			} else if k < p.phases.KMax() {
 				// End of a non-final phase: forget the rank, wait out
 				// the phase transition.
 				*u = State{Mode: ModeWait, Coin: 0, Wait: p.waitInit, Alive: 0}
-				return true
+				return true, true, true
 			}
+			// k = kMax: the leader keeps rank 1 unchanged.
 		case u.Rank == p.phases.F(k):
 			// u holds the last rank of v's phase: v advances
 			// (saturating at ⌈log₂ n⌉, DESIGN.md note 3).
@@ -138,7 +153,8 @@ func (p *Protocol) baseRanking(u, v *State) (uBecameWaiting bool) {
 		u.Wait--
 		if u.Wait <= 0 {
 			*u = Ranked(1)
+			uTouched = true
 		}
 	}
-	return false
+	return false, uTouched, vTouched
 }

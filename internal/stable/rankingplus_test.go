@@ -302,7 +302,7 @@ func TestBaseRankingMatchesCore(t *testing.T) {
 			cu, cv := toCore(u), toCore(v)
 
 			su, sv := u, v
-			becameS := ps.baseRanking(&su, &sv)
+			becameS, _, _ := ps.baseRanking(&su, &sv)
 			becameC := pc.Ranking(&cu, &cv)
 			if becameS != becameC {
 				t.Logf("became mismatch on (%v, %v)", u, v)

@@ -103,7 +103,10 @@ type Config struct {
 	// trajectory but follows the same law, and does not depend on
 	// ShardWorkers. Worth it for very large populations (n ≥ ~10⁵) on
 	// multi-core machines; below that the serial engine is typically
-	// faster outright (DESIGN.md §3.2).
+	// faster outright (DESIGN.md §3.2). The sentinel AutoShards (-1)
+	// derives the count from N and the machine's core count, staying
+	// serial for small populations — note the resolved count, and
+	// hence the trajectory, then depends on the machine.
 	Shards int
 	// ShardWorkers bounds the shard worker pool when Shards > 1:
 	// < 1 means one worker per CPU. It trades wall clock for cores
@@ -135,6 +138,13 @@ type Result struct {
 // ErrNotConverged is wrapped into Run's error when the budget is
 // exhausted first. The partial Result is still returned.
 var ErrNotConverged = errors.New("ssrank: ranking did not converge within the interaction budget")
+
+// AutoShards is the Config.Shards sentinel that picks the shard count
+// automatically from N and the machine's core count
+// (shard.AutoShards): serial below the population size where sharding
+// pays for its coordination, one shard per core (with a minimum slab
+// per shard) above.
+const AutoShards = shard.Auto
 
 // Run executes the configured protocol until it reaches a valid silent
 // ranking (or the budget runs out).
@@ -177,8 +187,12 @@ func Run(cfg Config) (Result, error) {
 // returns the final configuration and the interaction count alongside
 // any budget-exhaustion error.
 func runRanking[S any, P sim.Protocol[S]](cfg Config, p P, init []S, valid func([]S) bool) ([]S, int64, error) {
-	if cfg.Shards > 1 {
-		r := shard.New[S](p, init, cfg.Seed, cfg.Shards, cfg.ShardWorkers)
+	shards := cfg.Shards
+	if shards == AutoShards {
+		shards = shard.AutoShards(cfg.N, 0)
+	}
+	if shards > 1 {
+		r := shard.New[S](p, init, cfg.Seed, shards, cfg.ShardWorkers)
 		_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
 		return r.States(), r.Steps(), err
 	}
