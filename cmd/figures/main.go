@@ -47,7 +47,7 @@ func run() int {
 		e         = flag.String("e", "", "alias of -only")
 		seed      = flag.Uint64("seed", 0x5eed, "experiment seed")
 		parallel  = flag.Int("parallel", 0, "replication workers: 0 = one per CPU, 1 = serial (output is identical either way)")
-		shards    = flag.String("shards", "0", "run single trials of the large-n experiments (E1, E2, E4, E5) on this many population shards, or 'auto' to derive the count from n and the core count; output depends on the resolved shard count but not on -parallel")
+		shards    = flag.String("shards", "0", "run single trials of the stabilization experiments (E1, E2, E4-E7, E18) on this many population shards, or 'auto' to derive the count from n and the core count; output depends on the resolved shard count but not on -parallel")
 		precision = flag.Float64("precision", 0, "stop each replication loop once the 95% CI half-width of its statistic falls below this fraction of the mean (0 = fixed trial counts)")
 		maxtrials = flag.Int("maxtrials", 0, "override per-loop replication trial ceilings (0 = generator defaults); raise it to give -precision room")
 		progress  = flag.Bool("progress", false, "stream per-trial replication progress to stderr")

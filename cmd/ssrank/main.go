@@ -10,6 +10,9 @@
 //	    # stream replications until the 95% CI on the convergence time
 //	    # is within ±5% of its mean (at most 500 trials)
 //
+// -list prints the protocol registry: every registered protocol with
+// its supported inits and default budget at the configured -n.
+//
 // It exercises exactly the public API a library user would call.
 package main
 
@@ -19,13 +22,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"ssrank"
 	"ssrank/internal/sim"
-	"ssrank/internal/sim/replicate"
 	"ssrank/internal/sim/shard"
 	"ssrank/internal/stable"
-	"ssrank/internal/stats"
 	"ssrank/internal/trace"
 )
 
@@ -33,16 +35,27 @@ func main() {
 	os.Exit(run())
 }
 
+// protocolNames renders the registry for the -protocol flag help, so
+// the CLI cannot drift from the registered set.
+func protocolNames() string {
+	names := make([]string, 0, 8)
+	for _, p := range ssrank.Protocols() {
+		names = append(names, string(p))
+	}
+	return strings.Join(names, " | ")
+}
+
 func run() int {
 	var (
 		n         = flag.Int("n", 256, "population size (>= 2)")
-		protocol  = flag.String("protocol", "stable", "protocol: stable | space-efficient | cai | aware | interval")
-		init      = flag.String("init", "fresh", "initial configuration (stable): fresh | worst-case | random | fig3")
+		protocol  = flag.String("protocol", "stable", "protocol: "+protocolNames())
+		init      = flag.String("init", "", "initial configuration (default: the protocol's first registered init; see -list)")
 		seed      = flag.Uint64("seed", 1, "scheduler seed (runs are deterministic per seed)")
-		budget    = flag.Int64("budget", 0, "interaction budget (0 = generous default)")
-		shards    = flag.String("shards", "0", "run the population on this many shards, or 'auto' to derive the count from -n and the core count (intra-run parallelism; results depend on the resolved shard count, not on the worker pool)")
+		budget    = flag.Int64("budget", 0, "interaction budget (0 = the protocol's registered default)")
+		shards    = flag.String("shards", "0", "run the population on this many shards, or 'auto' to derive the count from -n and the core count (intra-run parallelism; results depend on the resolved shard count, not on the worker pool; sharded runs stop on the polled scan, not exactly)")
 		epsilon   = flag.Float64("epsilon", 1.0, "range slack for the interval protocol")
 		verbose   = flag.Bool("v", false, "print the full rank assignment")
+		list      = flag.Bool("list", false, "print the protocol registry (protocols, inits, default budgets at -n) and exit")
 		traceOut  = flag.String("trace", "", "write a per-n-interactions CSV time series to this file (stable protocol only)")
 		trials    = flag.Int("trials", 0, "replicate the run this many times and report aggregate statistics")
 		parallel  = flag.Int("parallel", 0, "replication workers for -trials: 0 = one per CPU, 1 = serial (results are identical either way)")
@@ -52,6 +65,9 @@ func run() int {
 	)
 	flag.Parse()
 
+	if *list {
+		return listProtocols(*n)
+	}
 	if *parallel != 0 && *trials <= 0 {
 		fmt.Fprintln(os.Stderr, "ssrank: -parallel only applies to -trials replication sweeps")
 		return 2
@@ -90,13 +106,14 @@ func run() int {
 			N:               *n,
 			Protocol:        ssrank.Protocol(*protocol),
 			Init:            ssrank.Init(*init),
+			Seed:            *seed,
 			MaxInteractions: *budget,
 			Epsilon:         *epsilon,
 			Shards:          shardCount,
 			// Within a replication sweep the trial pool owns the
 			// cores; sharded trials run their phases serially.
 			ShardWorkers: 1,
-		}, *seed, ceiling, *parallel, *precision, *progress)
+		}, ceiling, *parallel, *precision, *progress)
 	}
 
 	if *traceOut != "" {
@@ -127,7 +144,8 @@ func run() int {
 
 	norm := float64(res.Interactions) / float64(*n) / float64(*n)
 	fmt.Printf("protocol=%s n=%d seed=%d\n", *protocol, *n, *seed)
-	fmt.Printf("converged=%t interactions=%d (%.2f n²)\n", res.Converged, res.Interactions, norm)
+	fmt.Printf("converged=%t interactions=%d (%.2f n²) exact=%t\n",
+		res.Converged, res.Interactions, norm, res.Exact)
 	if res.Leader >= 0 {
 		fmt.Printf("leader=agent %d (rank 1)\n", res.Leader)
 	}
@@ -152,64 +170,55 @@ func run() int {
 	return 0
 }
 
-// runReplicated streams trials of the configured protocol through the
-// deterministic replication engine and reports aggregate statistics.
-// Per-trial seeds derive from (seed, trial) only and commits happen in
-// trial order, so the summary is identical at every -parallel setting;
-// precision > 0 stops the stream once the 95% CI on the convergence
-// time of converged trials is within ±precision of its mean.
-func runReplicated(cfg ssrank.Config, seed uint64, trials, workers int, precision float64, progress bool) int {
-	type trialR struct {
-		res ssrank.Result
-		err error
-	}
-	stream := replicate.Stream[trialR]{Workers: workers, Trials: trials, Root: seed}
-	stat := func(t trialR) (float64, bool) {
-		return float64(t.res.Interactions), t.res.Converged
-	}
-	if progress {
-		stream.OnCommit = func(c replicate.Commit[trialR]) {
-			fmt.Fprintf(os.Stderr, "trial %4d/%-4d converged=%-5t interactions=%d\n",
-				c.Committed, trials, c.Result.res.Converged, c.Result.res.Interactions)
+// listProtocols prints the registry — the same descriptors the
+// library dispatches through.
+func listProtocols(n int) int {
+	fmt.Printf("%-16s %-6s %-12s %-28s %s\n", "protocol", "self-", "default", "inits", "")
+	fmt.Printf("%-16s %-6s %-12s %-28s %s\n", "", "stab.", "budget", "", "")
+	for _, d := range ssrank.Descriptors() {
+		inits := make([]string, len(d.Inits))
+		for i, in := range d.Inits {
+			inits[i] = string(in)
 		}
+		fmt.Printf("%-16s %-6t %-12d %-28s\n",
+			d.Protocol, d.SelfStabilizing, d.DefaultBudget(n), strings.Join(inits, ","))
 	}
-	if precision > 0 {
-		stream.Stop = replicate.StopFunc(replicate.Precision{Rel: precision}, stat)
-	}
-	results := replicate.ReplicateStream(stream, func(_ int, s uint64) trialR {
-		c := cfg
-		c.Seed = s
-		res, err := ssrank.Run(c)
-		return trialR{res, err}
-	})
+	fmt.Printf("(default budgets at n=%d)\n", n)
+	return 0
+}
 
-	var steps, resets []float64
-	converged := 0
-	for _, t := range results {
-		if t.err != nil && !errors.Is(t.err, ssrank.ErrNotConverged) {
-			fmt.Fprintln(os.Stderr, "ssrank:", t.err)
-			return 2
-		}
-		if t.res.Converged {
-			converged++
-			steps = append(steps, float64(t.res.Interactions))
-			resets = append(resets, float64(t.res.Resets))
-		}
-	}
-	ran := len(results)
-	fmt.Printf("protocol=%s n=%d seed=%d trials=%d/%d workers=%d\n",
-		cfg.Protocol, cfg.N, seed, ran, trials, replicate.Workers(workers, trials))
-	fmt.Printf("converged=%d/%d\n", converged, ran)
-	if converged > 0 {
-		med := stats.Median(steps)
-		mean, ci := stats.MeanCI95(steps)
-		fmt.Printf("interactions median=%.0f (%.2f n²) mean=%.0f ±%.0f\n",
-			med, med/float64(cfg.N)/float64(cfg.N), mean, ci)
-		if m := stats.Mean(resets); m > 0 {
-			fmt.Printf("mean resets=%.2f\n", m)
+// runReplicated fans the configured run out through the public
+// replication API: per-trial seeds derive from (seed, trial) only and
+// commits happen in trial order, so the summary is identical at every
+// -parallel setting; precision > 0 stops the stream once the 95% CI
+// on the convergence time of converged trials is within ±precision of
+// its mean.
+func runReplicated(cfg ssrank.Config, trials, workers int, precision float64, progress bool) int {
+	opt := ssrank.ReplicateOptions{Trials: trials, Workers: workers, Precision: precision}
+	if progress {
+		opt.OnTrial = func(_, committed int, res ssrank.Result) {
+			fmt.Fprintf(os.Stderr, "trial %4d/%-4d converged=%-5t interactions=%d\n",
+				committed, trials, res.Converged, res.Interactions)
 		}
 	}
-	if converged < ran {
+	rep, err := ssrank.Replicate(cfg, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssrank:", err)
+		return 2
+	}
+
+	fmt.Printf("protocol=%s n=%d seed=%d trials=%d/%d\n",
+		cfg.Protocol, cfg.N, cfg.Seed, rep.Trials, trials)
+	fmt.Printf("converged=%d/%d\n", rep.Converged, rep.Trials)
+	if rep.Converged > 0 {
+		ints := rep.Interactions
+		fmt.Printf("interactions mean=%.0f ±%.0f (%.2f n²) min=%.0f max=%.0f\n",
+			ints.Mean, ints.CI95, ints.Mean/float64(cfg.N)/float64(cfg.N), ints.Min, ints.Max)
+		if rep.Resets.Mean > 0 {
+			fmt.Printf("mean resets=%.2f\n", rep.Resets.Mean)
+		}
+	}
+	if rep.Converged < rep.Trials {
 		fmt.Println("warning: some replications exhausted their budget")
 		return 1
 	}
@@ -218,8 +227,13 @@ func runReplicated(cfg ssrank.Config, seed uint64, trials, workers int, precisio
 
 // runTraced executes StableRanking with a trace recorder attached and
 // writes the time series (ranked count, mean phase, resets) as CSV —
-// the raw material of Fig. 2-style plots for any initialization.
+// the raw material of Fig. 2-style plots for any initialization. The
+// mean-phase probe reads protocol internals, so this path drives the
+// internal engine directly rather than the facade.
 func runTraced(n int, initName string, seed uint64, budget int64, path string) int {
+	if initName == "" {
+		initName = string(ssrank.InitFresh)
+	}
 	p := stable.New(n, stable.DefaultParams())
 	var init []stable.State
 	switch ssrank.Init(initName) {

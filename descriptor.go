@@ -1,0 +1,218 @@
+package ssrank
+
+import (
+	"fmt"
+
+	"ssrank/internal/baseline/aware"
+	"ssrank/internal/baseline/cai"
+	"ssrank/internal/baseline/interval"
+	"ssrank/internal/baseline/sudo"
+	"ssrank/internal/core"
+	"ssrank/internal/proto"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/sim/shard"
+	"ssrank/internal/stable"
+)
+
+// initSeedSalt derives the initialization randomness (random inits,
+// adversarial draws) from Config.Seed without correlating it with the
+// scheduler stream. Fixed forever: changing it would change every
+// seeded run with a random init.
+const initSeedSalt = 0xc0ffee
+
+// Descriptor is the public view of a registered protocol: what it is
+// called, which initial configurations it accepts, whether it
+// self-stabilizes, and its default interaction budget. Underneath, it
+// carries the type-erased engine paths Run, NewSimulation and
+// Replicate dispatch through — one generic implementation for all
+// protocols instead of one hand-written runner each.
+//
+// A protocol registers by constructing a proto.Descriptor in its own
+// package (the descriptor contract is documented there and in
+// DESIGN.md "Public API") and wiring it into this package's registry.
+type Descriptor struct {
+	// Protocol is the registered selector.
+	Protocol Protocol
+	// Inits lists the supported initial configurations; the first
+	// entry is the default.
+	Inits []Init
+	// SelfStabilizing reports whether the protocol converges from
+	// arbitrary configurations (and supports Simulation.Corrupt).
+	SelfStabilizing bool
+	// DefaultBudget returns the interaction budget a zero
+	// Config.MaxInteractions resolves to — several times the expected
+	// stabilization time, saturating at MaxInt64.
+	DefaultBudget func(n int) int64
+
+	run    func(cfg Config) (Result, error)
+	newSim func(cfg Config) (simHandle, error)
+}
+
+// Supports reports whether the protocol registered the named init.
+func (d *Descriptor) Supports(init Init) bool {
+	for _, i := range d.Inits {
+		if i == init {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe returns the descriptor registered for p. The returned
+// value is the caller's own copy: mutating it (or its Inits) cannot
+// affect how the registry dispatches.
+func Describe(p Protocol) (*Descriptor, bool) {
+	if d, ok := lookup(p); ok {
+		return d.clone(), true
+	}
+	return nil, false
+}
+
+// Descriptors lists every registered protocol's descriptor, in
+// registry order. Each entry is the caller's own copy (see Describe).
+func Descriptors() []*Descriptor {
+	out := make([]*Descriptor, len(registry))
+	for i, d := range registry {
+		out[i] = d.clone()
+	}
+	return out
+}
+
+// lookup resolves a protocol to its live registry entry — internal
+// dispatch only; public accessors hand out clones.
+func lookup(p Protocol) (*Descriptor, bool) {
+	for _, d := range registry {
+		if d.Protocol == p {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// clone returns a defensive copy sharing only the immutable engine
+// closures.
+func (d *Descriptor) clone() *Descriptor {
+	c := *d
+	c.Inits = append([]Init(nil), d.Inits...)
+	return &c
+}
+
+// registry holds one descriptor per implemented protocol. Protocol
+// packages construct the generic descriptors (their desc.go);
+// describe erases the state type so they can share one table.
+var registry = []*Descriptor{
+	describe(func(Config) proto.Descriptor[stable.State, *stable.Protocol] {
+		return stable.Describe()
+	}),
+	describe(func(Config) proto.Descriptor[core.State, *core.Protocol] {
+		return core.Describe()
+	}),
+	describe(func(Config) proto.Descriptor[cai.State, *cai.Protocol] {
+		return cai.Describe()
+	}),
+	describe(func(Config) proto.Descriptor[aware.State, *aware.Protocol] {
+		return aware.Describe()
+	}),
+	describe(func(cfg Config) proto.Descriptor[interval.State, *interval.Protocol] {
+		return interval.Describe(cfg.Epsilon)
+	}),
+	describe(func(Config) proto.Descriptor[sudo.State, *sudo.Protocol] {
+		return sudo.Describe(sudo.DefaultTimeoutFactor)
+	}),
+}
+
+// describe erases a protocol package's generic descriptor into the
+// public registry entry, binding the one generic engine-selection path
+// (runDesc) and the one generic stepwise driver (simDriver) to it. mk
+// rebuilds the descriptor per call so per-run parameters (Interval's ε)
+// come from the Config.
+func describe[S any, P sim.TouchReporter[S]](mk func(Config) proto.Descriptor[S, P]) *Descriptor {
+	meta := mk(Config{Epsilon: 1})
+	inits := make([]Init, len(meta.Inits))
+	for i, name := range meta.Inits {
+		inits[i] = Init(name)
+	}
+	return &Descriptor{
+		Protocol:        Protocol(meta.Name),
+		Inits:           inits,
+		SelfStabilizing: meta.SelfStabilizing,
+		DefaultBudget:   meta.Budget,
+		run: func(cfg Config) (Result, error) {
+			return runDesc(cfg, mk(cfg))
+		},
+		newSim: func(cfg Config) (simHandle, error) {
+			return newSimDriver(cfg, mk(cfg))
+		},
+	}
+}
+
+// resolveShards resolves Config.Shards, expanding the AutoShards
+// sentinel against N and the machine's core count.
+func resolveShards(cfg Config) int {
+	if cfg.Shards == AutoShards {
+		return shard.AutoShards(cfg.N, 0)
+	}
+	return cfg.Shards
+}
+
+// descInit builds the configured initial configuration, deriving the
+// initialization randomness from the seed under the fixed salt.
+func descInit[S any, P any](cfg Config, d proto.Descriptor[S, P], p P) ([]S, error) {
+	init := d.Init(p, string(cfg.Init), rng.New(cfg.Seed^initSeedSalt))
+	if init == nil {
+		return nil, fmt.Errorf("ssrank: protocol %q supports inits %v, got %q", cfg.Protocol, d.Inits, cfg.Init)
+	}
+	return init, nil
+}
+
+// runDesc is the single engine-selection path behind Run: the sharded
+// runner with the polled validity scan when the config resolves to
+// more than one shard (a sharded trajectory is only defined at batch
+// barriers), else the serial runner stopping at the exact hitting
+// time via the descriptor's incremental tracker and the protocol's
+// touch reporting (sim.RunUntilCondT).
+func runDesc[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]) (Result, error) {
+	p := d.New(cfg.N)
+	init, ierr := descInit(cfg, d, p)
+	if ierr != nil {
+		return Result{}, ierr
+	}
+	var (
+		states []S
+		steps  int64
+		err    error
+		exact  bool
+	)
+	// A transient stop condition (Loose) is only measurable by the
+	// exact tracker: the sharded engine's polled scan can sail through
+	// a short satisfying window entirely, so such protocols always run
+	// serially regardless of cfg.Shards.
+	if shards := resolveShards(cfg); shards > 1 && !d.TransientStop {
+		r := shard.New[S](p, init, cfg.Seed, shards, cfg.ShardWorkers)
+		_, err = r.RunUntil(d.Valid, 0, cfg.MaxInteractions)
+		states, steps = r.States(), r.Steps()
+	} else {
+		r := sim.New[S](p, init, cfg.Seed)
+		steps, err = sim.RunUntilCondT(r, sim.DescCond(d, p), cfg.MaxInteractions)
+		states = r.States()
+		exact = err == nil
+	}
+	res := Result{
+		Ranks:        d.Ranks(states),
+		Interactions: steps,
+		Converged:    err == nil,
+		Exact:        exact,
+		Leader:       d.LeaderOf(states),
+	}
+	if d.Resets != nil {
+		res.Resets = d.Resets(p)
+	}
+	if d.ResetBreakdown != nil {
+		res.ResetBreakdown = d.ResetBreakdown(p)
+	}
+	if err != nil {
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
+	}
+	return res, nil
+}

@@ -23,10 +23,12 @@ func ExampleRun() {
 		complete = complete && seen[r]
 	}
 	fmt.Println("converged:", res.Converged)
+	fmt.Println("stopped at the exact hitting time:", res.Exact)
 	fmt.Println("ranks form a permutation of 1..16:", complete)
 	fmt.Println("leader holds rank:", res.Ranks[res.Leader])
 	// Output:
 	// converged: true
+	// stopped at the exact hitting time: true
 	// ranks form a permutation of 1..16: true
 	// leader holds rank: 1
 }
@@ -49,7 +51,7 @@ func ExampleRun_worstCase() {
 // ExampleSimulation demonstrates stepwise control with transient-fault
 // injection: self-stabilization means corruption is always survivable.
 func ExampleSimulation() {
-	sim, err := ssrank.NewSimulation(32, 3)
+	sim, err := ssrank.NewSimulation(ssrank.Config{N: 32, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,4 +64,58 @@ func ExampleSimulation() {
 	// Output:
 	// stabilized: true
 	// recovered: true
+}
+
+// ExampleSimulation_observe watches a non-default protocol converge
+// from an adversarial random configuration, sampling snapshots at a
+// fixed interaction cadence.
+func ExampleSimulation_observe() {
+	sim, err := ssrank.NewSimulation(ssrank.Config{
+		N: 24, Protocol: ssrank.Cai, Init: ssrank.InitRandom, Seed: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := 0
+	stable := sim.Observe(0, 0, func(ssrank.Snapshot) { samples++ })
+	fmt.Println("stabilized:", stable)
+	fmt.Println("observed more than one snapshot:", samples > 1)
+	// Output:
+	// stabilized: true
+	// observed more than one snapshot: true
+}
+
+// ExampleReplicate fans one configuration out across the deterministic
+// parallel replication engine and reads aggregate statistics; the
+// outcome is bit-identical at every worker count.
+func ExampleReplicate() {
+	rep, err := ssrank.Replicate(
+		ssrank.Config{N: 24, Seed: 7},
+		ssrank.ReplicateOptions{Trials: 8},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged: %d/%d\n", rep.Converged, rep.Trials)
+	fmt.Println("mean within observed bounds:",
+		rep.Interactions.Min <= rep.Interactions.Mean && rep.Interactions.Mean <= rep.Interactions.Max)
+	// Output:
+	// converged: 8/8
+	// mean within observed bounds: true
+}
+
+// ExampleDescriptors walks the protocol registry — the one table
+// behind Run, NewSimulation and Replicate.
+func ExampleDescriptors() {
+	for _, d := range ssrank.Descriptors() {
+		fmt.Printf("%s self-stabilizing=%t inits=%d\n",
+			d.Protocol, d.SelfStabilizing, len(d.Inits))
+	}
+	// Output:
+	// stable self-stabilizing=true inits=4
+	// space-efficient self-stabilizing=false inits=1
+	// cai self-stabilizing=true inits=2
+	// aware self-stabilizing=true inits=2
+	// interval self-stabilizing=false inits=1
+	// loose self-stabilizing=true inits=2
 }

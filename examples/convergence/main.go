@@ -1,8 +1,8 @@
 // Convergence renders a live terminal version of the paper's Fig. 2:
 // start the self-stabilizing protocol from the worst-case
-// initialization, trace the number of ranked agents and the mean phase
-// counter, and draw both as an ASCII chart once the population
-// stabilizes.
+// initialization, sample cadenced snapshots of the ranked-agent count
+// and the cumulative reset count through the public Observe API, and
+// draw both as an ASCII chart once the population stabilizes.
 //
 //	go run ./examples/convergence
 package main
@@ -11,10 +11,8 @@ import (
 	"fmt"
 	"log"
 
+	"ssrank"
 	"ssrank/internal/plot"
-	"ssrank/internal/sim"
-	"ssrank/internal/stable"
-	"ssrank/internal/trace"
 )
 
 func main() {
@@ -23,43 +21,38 @@ func main() {
 		seed = 2026
 	)
 
-	p := stable.New(n, stable.DefaultParams())
-	r := sim.New[stable.State](p, p.WorstCaseInit(), seed)
+	sim, err := ssrank.NewSimulation(ssrank.Config{N: n, Seed: seed, Init: ssrank.InitWorstCase})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	rec := trace.NewRecorder[stable.State](
-		trace.Probe[stable.State]{Name: "ranked", Fn: func(ss []stable.State) float64 {
-			return float64(stable.RankedCount(ss))
-		}},
-		trace.Probe[stable.State]{Name: "mean_phase", Fn: func(ss []stable.State) float64 {
-			return stable.MeanPhase(ss)
-		}},
-	)
-
-	r.Observe(rec.Observe, int64(n)*int64(n)/4, int64(500)*int64(n)*int64(n),
-		func(ss []stable.State) bool { return stable.Valid(ss) })
-
-	if !stable.Valid(r.States()) {
+	var x, ranked, resets []float64
+	stable := sim.Observe(int64(n)*int64(n)/4, int64(500)*int64(n)*int64(n),
+		func(s ssrank.Snapshot) {
+			x = append(x, float64(s.Interactions)/float64(n)/float64(n))
+			ranked = append(ranked, float64(s.RankedCount))
+			resets = append(resets, float64(s.Resets))
+		})
+	if !stable {
 		log.Fatal("did not stabilize within the plotting budget")
 	}
 
-	ranked, _ := rec.Series("ranked")
-	phase, _ := rec.Series("mean_phase")
-	x := make([]float64, rec.Len())
-	scaledPhase := make([]float64, rec.Len())
-	kMax := float64(p.Phases().KMax())
-	for i := range x {
-		x[i] = float64(rec.Steps(i)) / float64(n) / float64(n)
-		// Scale the phase (1..kMax) onto the ranked axis, like the
-		// paper's twin y-axis.
-		scaledPhase[i] = phase[i] / kMax * float64(n)
+	// Scale the cumulative resets onto the ranked axis, like the
+	// paper's twin y-axis.
+	maxResets := resets[len(resets)-1]
+	scaled := make([]float64, len(resets))
+	if maxResets > 0 {
+		for i, r := range resets {
+			scaled[i] = r / maxResets * n
+		}
 	}
 
 	fmt.Print(plot.Lines(
 		fmt.Sprintf("worst-case recovery, n=%d (x: interactions/n²)", n),
 		76, 20,
 		plot.Series{Name: "ranked agents", X: x, Y: ranked},
-		plot.Series{Name: fmt.Sprintf("mean phase (×%d/%d)", n, int(kMax)), X: x, Y: scaledPhase},
+		plot.Series{Name: fmt.Sprintf("resets (×%d/%d)", n, int(maxResets)), X: x, Y: scaled},
 	))
 	fmt.Printf("\nstabilized after %.1f n² interactions, %d resets %v\n",
-		float64(r.Steps())/float64(n)/float64(n), p.Resets(), p.ResetBreakdown())
+		float64(sim.Interactions())/float64(n)/float64(n), sim.Resets(), sim.ResetBreakdown())
 }

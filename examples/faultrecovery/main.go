@@ -16,7 +16,7 @@ import (
 func main() {
 	const n = 128
 
-	sim, err := ssrank.NewSimulation(n, 7)
+	sim, err := ssrank.NewSimulation(ssrank.Config{N: n, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

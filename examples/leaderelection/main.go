@@ -18,7 +18,7 @@ import (
 func main() {
 	const n = 96
 
-	sim, err := ssrank.NewSimulation(n, 11)
+	sim, err := ssrank.NewSimulation(ssrank.Config{N: n, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}

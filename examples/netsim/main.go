@@ -23,17 +23,21 @@ func main() {
 		seed = 99
 	)
 
+	// The protocol descriptor is the same table the public facade
+	// dispatches through — here it feeds a different runtime.
+	d := stable.Describe()
+
 	// Concurrent runtime: n goroutines + a matchmaker.
-	pNet := stable.New(n, stable.DefaultParams())
-	net := netsim.New[stable.State](pNet, pNet.InitialStates(), seed)
+	pNet := d.New(n)
+	net := netsim.New[stable.State](pNet, d.Init(pNet, "fresh", nil), seed)
 	defer net.Close()
 
 	// Reference: the sequential engine with the same seed.
-	pSeq := stable.New(n, stable.DefaultParams())
-	seq := sim.New[stable.State](pSeq, pSeq.InitialStates(), seed)
+	pSeq := d.New(n)
+	seq := sim.New[stable.State](pSeq, d.Init(pSeq, "fresh", nil), seed)
 
 	fmt.Printf("running %d agent goroutines...\n", n)
-	steps, err := net.RunUntil(stable.Valid, 0, int64(5000*n*n))
+	steps, err := net.RunUntil(d.Valid, 0, int64(5000*n*n))
 	if err != nil {
 		log.Fatal("netsim did not stabilize: ", err)
 	}
@@ -49,6 +53,6 @@ func main() {
 	}
 	fmt.Println("bit-identical to the sequential engine under the same seed ✓")
 
-	leader := stable.LeaderRank1(snap)
+	leader := d.LeaderOf(snap)
 	fmt.Printf("leader: goroutine %d (rank 1)\n", leader)
 }

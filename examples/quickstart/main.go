@@ -19,8 +19,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("ranked %d agents in %d interactions (%.1f n²)\n",
-		n, res.Interactions, float64(res.Interactions)/(n*n))
+	// Interactions is the exact hitting time of the first valid silent
+	// ranking (Exact): the serial engine tracks validity incrementally
+	// instead of polling it.
+	fmt.Printf("ranked %d agents in exactly %d interactions (%.1f n², exact=%t)\n",
+		n, res.Interactions, float64(res.Interactions)/(n*n), res.Exact)
 	fmt.Printf("agent %d holds rank 1 and is therefore the leader\n", res.Leader)
 
 	// Every agent ended with a unique rank in 1..n:

@@ -1,0 +1,242 @@
+package ssrank
+
+// This file pins the descriptor redesign against the pre-redesign
+// facade: oldFacadeRun is a faithful copy of the retired per-protocol
+// run functions (runStable / runCore / runCai / runAware /
+// runInterval and their shared polled runRanking path), and the suite
+// checks that the redesigned Run returns the same Results across
+// every protocol × init × engine combination the old facade
+// supported.
+//
+// The one sanctioned difference is the stopping discipline on the
+// serial engine: the old facade polled validity every n interactions,
+// the redesign stops at the exact hitting time via the descriptor's
+// incremental tracker. For silent stop conditions the configuration
+// cannot change after the hitting time, so ranks, leader and resets
+// must still be byte-identical, and the two step counts must agree up
+// to poll rounding: exact ≤ polled < exact + cadence. On the sharded
+// engine the redesign keeps the polled scan, so there everything —
+// including Interactions — must be byte-identical.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ssrank/internal/baseline/aware"
+	"ssrank/internal/baseline/cai"
+	"ssrank/internal/baseline/interval"
+	"ssrank/internal/core"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/sim/shard"
+	"ssrank/internal/stable"
+)
+
+// oldRunRanking is the pre-redesign shared engine path: polled
+// validity on the serial or sharded runner.
+func oldRunRanking[S any, P sim.Protocol[S]](cfg Config, p P, init []S, valid func([]S) bool) ([]S, int64, error) {
+	shards := cfg.Shards
+	if shards == AutoShards {
+		shards = shard.AutoShards(cfg.N, 0)
+	}
+	if shards > 1 {
+		r := shard.New[S](p, init, cfg.Seed, shards, cfg.ShardWorkers)
+		_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
+		return r.States(), r.Steps(), err
+	}
+	r := sim.New[S](p, init, cfg.Seed)
+	_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
+	return r.States(), r.Steps(), err
+}
+
+func oldStableRanks(states []stable.State) []int {
+	out := make([]int, len(states))
+	for i, s := range states {
+		if s.Mode == stable.ModeRanked {
+			out[i] = int(s.Rank)
+		}
+	}
+	return out
+}
+
+// oldFacadeRun reproduces the pre-redesign Run byte for byte
+// (normalization included) for the protocols the old facade knew.
+func oldFacadeRun(cfg Config) (Result, error) {
+	if cfg.Protocol == "" {
+		cfg.Protocol = StableRanking
+	}
+	if cfg.Init == "" {
+		cfg.Init = InitFresh
+	}
+	if cfg.MaxInteractions == 0 {
+		cfg.MaxInteractions = defaultBudget(cfg.N, cfg.Protocol)
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1.0
+	}
+	wrap := func(res Result, err error) (Result, error) {
+		if err != nil {
+			return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, res.Interactions, ErrNotConverged)
+		}
+		return res, nil
+	}
+	switch cfg.Protocol {
+	case StableRanking:
+		p := stable.New(cfg.N, stable.DefaultParams())
+		var init []stable.State
+		switch cfg.Init {
+		case InitFresh:
+			init = p.InitialStates()
+		case InitWorstCase:
+			init = p.WorstCaseInit()
+		case InitRandom:
+			init = p.RandomConfig(rng.New(cfg.Seed ^ 0xc0ffee))
+		case InitFig3:
+			init = p.Fig3Init()
+		}
+		states, steps, err := oldRunRanking(cfg, p, init, stable.Valid)
+		return wrap(Result{
+			Ranks:          oldStableRanks(states),
+			Interactions:   steps,
+			Converged:      err == nil,
+			Leader:         stable.LeaderRank1(states),
+			Resets:         p.Resets(),
+			ResetBreakdown: p.ResetBreakdown(),
+		}, err)
+	case SpaceEfficient:
+		p := core.New(cfg.N, core.DefaultParams())
+		states, steps, err := oldRunRanking(cfg, p, p.InitialStates(), core.Valid)
+		res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
+		res.Ranks = make([]int, cfg.N)
+		for i, s := range states {
+			if s.Kind == core.KindRanked {
+				res.Ranks[i] = int(s.Rank)
+				if s.Rank == 1 {
+					res.Leader = i
+				}
+			}
+		}
+		return wrap(res, err)
+	case Cai:
+		p := cai.New(cfg.N)
+		var init []cai.State
+		switch cfg.Init {
+		case InitFresh:
+			init = p.InitialStates()
+		case InitRandom:
+			rr := rng.New(cfg.Seed ^ 0xc0ffee)
+			init = make([]cai.State, cfg.N)
+			for i := range init {
+				init[i] = cai.State(1 + rr.Intn(cfg.N))
+			}
+		}
+		states, steps, err := oldRunRanking(cfg, p, init, cai.Valid)
+		res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
+		res.Ranks = make([]int, cfg.N)
+		for i, s := range states {
+			res.Ranks[i] = int(s)
+			if s == 1 {
+				res.Leader = i
+			}
+		}
+		return wrap(res, err)
+	case Aware:
+		p := aware.New(cfg.N, aware.DefaultParams())
+		states, steps, err := oldRunRanking(cfg, p, p.InitialStates(), aware.Valid)
+		res := Result{Interactions: steps, Converged: err == nil, Leader: -1, Resets: p.Resets()}
+		res.Ranks = make([]int, cfg.N)
+		for i, s := range states {
+			if s.Mode == aware.ModeRanked {
+				res.Ranks[i] = int(s.Rank)
+				if s.Rank == 1 {
+					res.Leader = i
+				}
+			}
+		}
+		return wrap(res, err)
+	case Interval:
+		p := interval.New(cfg.N, cfg.Epsilon)
+		states, steps, err := oldRunRanking(cfg, p, p.InitialStates(), interval.Valid)
+		res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
+		res.Ranks = make([]int, cfg.N)
+		for i, rk := range interval.Ranks(states) {
+			res.Ranks[i] = int(rk)
+			if rk == 1 {
+				res.Leader = i
+			}
+		}
+		return wrap(res, err)
+	}
+	panic("unknown protocol " + cfg.Protocol)
+}
+
+func TestFacadeCompat(t *testing.T) {
+	combos := []struct {
+		p    Protocol
+		init Init
+	}{
+		{StableRanking, InitFresh},
+		{StableRanking, InitWorstCase},
+		{StableRanking, InitRandom},
+		{StableRanking, InitFig3},
+		{SpaceEfficient, InitFresh},
+		{Cai, InitFresh},
+		{Cai, InitRandom},
+		{Aware, InitFresh},
+		{Interval, InitFresh},
+	}
+	const n = 48
+	for _, c := range combos {
+		for _, shards := range []int{0, 4} {
+			for _, seed := range []uint64{1, 5} {
+				c, shards, seed := c, shards, seed
+				t.Run(fmt.Sprintf("%s/%s/shards=%d/seed=%d", c.p, c.init, shards, seed), func(t *testing.T) {
+					cfg := Config{N: n, Protocol: c.p, Init: c.init, Seed: seed, Shards: shards}
+					oldRes, oldErr := oldFacadeRun(cfg)
+					newRes, newErr := Run(cfg)
+					if (oldErr == nil) != (newErr == nil) {
+						t.Fatalf("convergence disagrees: old err %v, new err %v", oldErr, newErr)
+					}
+					if oldErr != nil {
+						if c.p == SpaceEfficient {
+							t.Skip("w.h.p. protocol lost the leader lottery at this seed under both facades")
+						}
+						t.Fatalf("combination no longer converges: %v", oldErr)
+					}
+					if !reflect.DeepEqual(newRes.Ranks, oldRes.Ranks) {
+						t.Fatalf("ranks differ:\nold %v\nnew %v", oldRes.Ranks, newRes.Ranks)
+					}
+					if newRes.Leader != oldRes.Leader {
+						t.Fatalf("leader differs: old %d, new %d", oldRes.Leader, newRes.Leader)
+					}
+					if newRes.Resets != oldRes.Resets || !reflect.DeepEqual(newRes.ResetBreakdown, oldRes.ResetBreakdown) {
+						t.Fatalf("resets differ: old %d %v, new %d %v",
+							oldRes.Resets, oldRes.ResetBreakdown, newRes.Resets, newRes.ResetBreakdown)
+					}
+					if shards > 1 {
+						// Same polled engine path: everything must match.
+						if newRes.Interactions != oldRes.Interactions {
+							t.Fatalf("sharded interactions differ: old %d, new %d", oldRes.Interactions, newRes.Interactions)
+						}
+						if newRes.Exact {
+							t.Fatal("sharded run claims an exact hitting time")
+						}
+						return
+					}
+					// Serial: the redesign stops at the exact hitting
+					// time, the old facade at the next poll (cadence n).
+					if !newRes.Exact {
+						t.Fatal("serial run did not report an exact hitting time")
+					}
+					if newRes.Interactions > oldRes.Interactions {
+						t.Fatalf("exact stop %d after polled stop %d", newRes.Interactions, oldRes.Interactions)
+					}
+					if oldRes.Interactions-newRes.Interactions >= n {
+						t.Fatalf("polled stop %d more than one cadence past exact stop %d", oldRes.Interactions, newRes.Interactions)
+					}
+				})
+			}
+		}
+	}
+}

@@ -13,7 +13,11 @@
 // stabilization than StableRanking's O(n² log n).
 package cai
 
-import "fmt"
+import (
+	"fmt"
+
+	"ssrank/internal/rng"
+)
 
 // State is an agent's label in [1, n].
 type State int32
@@ -57,6 +61,24 @@ func (p *Protocol) InitialStates() []State {
 	states := make([]State, p.n)
 	for i := range states {
 		states[i] = 1
+	}
+	return states
+}
+
+// RandomState draws a uniformly random label from [1, n] — the
+// fault-injection primitive and the per-agent step of RandomConfig.
+func (p *Protocol) RandomState(r *rng.RNG) State {
+	return State(1 + r.Intn(int(p.n)))
+}
+
+// RandomConfig draws an arbitrary configuration uniformly from the
+// state space — the adversary of the self-stabilization claim, and
+// the protocol's "random" init. Labels are drawn agent by agent in
+// index order, so the configuration is a pure function of r's stream.
+func (p *Protocol) RandomConfig(r *rng.RNG) []State {
+	states := make([]State, p.n)
+	for i := range states {
+		states[i] = p.RandomState(r)
 	}
 	return states
 }

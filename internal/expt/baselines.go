@@ -7,7 +7,6 @@ import (
 	"ssrank/internal/baseline/cai"
 	"ssrank/internal/baseline/interval"
 	"ssrank/internal/plot"
-	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
 )
@@ -46,10 +45,8 @@ func BaselineComparison(opts Options) Figure {
 		// trial at n=256 would cost more than the whole sweep.
 		caiLabel := fmt.Sprintf("E6 cai n=%d", n)
 		caiOnce := func(seed uint64, cap int64) (int64, bool) {
-			p := cai.New(n)
-			r := sim.New[cai.State](p, p.InitialStates(), seed)
-			steps, err := sim.RunUntilCondT(r, sim.NewRankCond(0, cai.RankOf), cap)
-			return steps, err == nil
+			steps, ok, _ := descStabilize(opts, cai.Describe(), n, "fresh", 0, seed, cap)
+			return steps, ok
 		}
 		caiBud := pilotBudget(opts, caiLabel, uint64(61*n)^0xca1,
 			int64(2000)*int64(n)*int64(n)*int64(n), caiOnce)
@@ -72,10 +69,8 @@ func BaselineComparison(opts Options) Figure {
 
 		stLabel := fmt.Sprintf("E6 stable n=%d", n)
 		stOnce := func(seed uint64, cap int64) (int64, bool) {
-			p := stable.New(n, stable.DefaultParams())
-			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			steps, err := sim.RunUntilCondT(r, sim.NewRankCond(0, stable.RankOf), cap)
-			return steps, err == nil
+			steps, ok, _ := descStabilize(opts, stable.Describe(), n, "fresh", 0, seed, cap)
+			return steps, ok
 		}
 		stBud := pilotBudget(opts, stLabel, uint64(61*n)^0x57ab1e, budget(n, 3000), stOnce)
 		var stTimes []float64
@@ -137,10 +132,8 @@ func TradeoffEpsilon(opts Options) Figure {
 		p := interval.New(n, eps)
 		label := fmt.Sprintf("E7 eps=%.2f", eps)
 		runOnce := func(seed uint64, cap int64) (int64, bool) {
-			pt := interval.New(n, eps)
-			r := sim.New[interval.State](pt, pt.InitialStates(), seed)
-			steps, err := sim.RunUntilCondT(r, interval.NewDisjointCond(pt.M()), cap)
-			return steps, err == nil
+			steps, ok, _ := descStabilize(opts, interval.Describe(eps), n, "fresh", 0, seed, cap)
+			return steps, ok
 		}
 		bud := pilotBudget(opts, label, uint64(eps*1000)^uint64(n), int64(5000)*int64(n)*int64(n), runOnce)
 		var times []float64

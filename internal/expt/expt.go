@@ -16,6 +16,8 @@ import (
 	"math"
 
 	"ssrank/internal/plot"
+	"ssrank/internal/proto"
+	"ssrank/internal/rng"
 	"ssrank/internal/sim"
 	"ssrank/internal/sim/replicate"
 	"ssrank/internal/sim/shard"
@@ -36,7 +38,8 @@ type Options struct {
 	// workers of the generators that adopt the sharded engine.
 	Workers int
 	// Shards, when > 1, runs the trials of the sharded-engine adopters
-	// (E1, E2, E4, E5 — the large-n stabilization generators) on the
+	// (E1, E2, and the descriptor-driven stabilization generators
+	// E4-E7 and E18) on the
 	// internal/sim/shard runner with this shard count. Output depends
 	// on (Seed, Shards) but never on Workers; Shards ≤ 1 keeps the
 	// serial engine and its pinned golden outputs. Sharding pays off
@@ -285,6 +288,45 @@ func newRunner[S any, P sim.TouchReporter[S]](o Options, workers int, p P, state
 		return polledShard[S, P]{shard.New[S](p, states, seed, s, workers)}
 	}
 	return exactSerial[S, P]{sim.New[S](p, states, seed)}
+}
+
+// descRunner constructs one trial — protocol instance, named initial
+// configuration, engine — from a protocol descriptor (internal/proto):
+// the same table the public facade dispatches through, so the harness
+// and the facade cannot drift apart on what a protocol is. salt
+// decorrelates the init randomness (random inits) from the scheduler
+// seed; inits that take no randomness ignore it.
+func descRunner[S any, P sim.TouchReporter[S]](o Options, workers int, d proto.Descriptor[S, P], n int, init string, salt, seed uint64) (P, runner[S]) {
+	p := d.New(n)
+	states := d.Init(p, init, rng.New(seed^salt))
+	if states == nil {
+		panic(fmt.Sprintf("expt: protocol %q does not register init %q", d.Name, init))
+	}
+	if d.TransientStop {
+		// A transient stop condition (loose LE's uniqueness) is only
+		// measurable by the exact tracker; the sharded engine's polled
+		// scan can miss the window, so such trials stay serial
+		// regardless of Options.Shards.
+		return p, exactSerial[S, P]{sim.New[S](p, states, seed)}
+	}
+	return p, newRunner[S](o, workers, p, states, seed)
+}
+
+// descStabilize runs one descriptor trial to its stop condition —
+// exactly on the serial engine, polled at batch granularity on shards
+// (see runner.RunUntilExact) — returning the stop step, convergence,
+// and the protocol's reset count (0 without reset instrumentation).
+// It is the whole per-trial body of the stabilization sweeps; the
+// descriptor supplies constructor, init, tracker and validity that
+// each generator previously tabulated for itself.
+func descStabilize[S any, P sim.TouchReporter[S]](o Options, d proto.Descriptor[S, P], n int, init string, salt, seed uint64, cap int64) (int64, bool, int64) {
+	p, r := descRunner(o, 1, d, n, init, salt, seed)
+	steps, err := r.RunUntilExact(sim.DescCond(d, p), d.Valid, cap)
+	var resets int64
+	if d.Resets != nil {
+		resets = d.Resets(p)
+	}
+	return steps, err == nil, resets
 }
 
 // statSteps designates a stabilization loop's interaction count as its

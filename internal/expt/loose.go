@@ -56,12 +56,12 @@ func LooseVsSilent(opts Options) Figure {
 		for _, t := range runTrialsStat(opts, fmt.Sprintf("E18 loose n=%d", n), uint64(18*n), trials,
 			func(t looseR) (float64, bool) { return t.steps, t.ok },
 			func(_ int, seed uint64) looseR {
-				p := sudo.New(n, 8)
-				r := sim.New[sudo.State](p, p.InitialStates(), seed)
+				d := sudo.Describe(sudo.DefaultTimeoutFactor)
+				p, r := descRunner(opts, 1, d, n, "fresh", 0, seed)
 				// Exact stopping matters doubly here: uniqueness is
 				// transient for loose LE, so a polled scan can sail
 				// through a short uniqueness window entirely.
-				steps, err := sim.RunUntilCondT(r, sudo.NewLeaderCond(), int64(1000*float64(n)*lg))
+				steps, err := r.RunUntilExact(sim.DescCond(d, p), d.Valid, int64(1000*float64(n)*lg))
 				if err != nil {
 					return looseR{}
 				}
@@ -99,10 +99,8 @@ func LooseVsSilent(opts Options) Figure {
 		// = permanent leader.
 		silentLabel := fmt.Sprintf("E18 silent n=%d", n)
 		silentOnce := func(seed uint64, cap int64) (int64, bool) {
-			p := stable.New(n, stable.DefaultParams())
-			r := sim.New[stable.State](p, p.InitialStates(), seed)
-			steps, err := sim.RunUntilCondT(r, sim.NewRankCond(0, stable.RankOf), cap)
-			return steps, err == nil
+			steps, ok, _ := descStabilize(opts, stable.Describe(), n, "fresh", 0, seed, cap)
+			return steps, ok
 		}
 		silentBud := pilotBudget(opts, silentLabel, uint64(18*n)^0x511e47, budget(n, 3000), silentOnce)
 		var silentConvs []float64

@@ -7,7 +7,6 @@ import (
 	"ssrank/internal/core"
 	"ssrank/internal/leaderelect"
 	"ssrank/internal/plot"
-	"ssrank/internal/rng"
 	"ssrank/internal/sim"
 	"ssrank/internal/stable"
 	"ssrank/internal/stats"
@@ -33,10 +32,8 @@ func Theorem1Shape(opts Options) Figure {
 	for _, n := range ns {
 		label := fmt.Sprintf("E4 n=%d", n)
 		runOnce := func(seed uint64, cap int64) (int64, bool) {
-			p := core.New(n, core.DefaultParams())
-			r := newRunner[core.State](opts, 1, p, p.InitialStates(), seed)
-			steps, err := r.RunUntilExact(sim.NewRankCond(0, core.RankOf), core.Valid, cap)
-			return steps, err == nil
+			steps, ok, _ := descStabilize(opts, core.Describe(), n, "fresh", 0, seed, cap)
+			return steps, ok
 		}
 		bud := pilotBudget(opts, label, uint64(3*n), budget(n, 200), runOnce)
 		var norms []float64
@@ -77,13 +74,14 @@ func Theorem2Shape(opts Options) Figure {
 		ns = []int{64, 128}
 		trials = 4
 	}
+	// Display name ↦ the init the descriptor registers under it.
 	inits := []struct {
 		name string
-		make func(p *stable.Protocol, r *rng.RNG) []stable.State
+		init string
 	}{
-		{"fresh", func(p *stable.Protocol, _ *rng.RNG) []stable.State { return p.InitialStates() }},
-		{"worst-case", func(p *stable.Protocol, _ *rng.RNG) []stable.State { return p.WorstCaseInit() }},
-		{"uniform-random", func(p *stable.Protocol, r *rng.RNG) []stable.State { return p.RandomConfig(r) }},
+		{"fresh", "fresh"},
+		{"worst-case", "worst-case"},
+		{"uniform-random", "random"},
 	}
 
 	fig := Figure{
@@ -103,10 +101,7 @@ func Theorem2Shape(opts Options) Figure {
 			}
 			label := fmt.Sprintf("E5 %s n=%d", init.name, n)
 			runOnce := func(seed uint64, cap int64) (int64, bool, int64) {
-				p := stable.New(n, stable.DefaultParams())
-				r := newRunner[stable.State](opts, 1, p, init.make(p, rng.New(seed^0x1417)), seed)
-				steps, err := r.RunUntilExact(sim.NewRankCond(0, stable.RankOf), stable.Valid, cap)
-				return steps, err == nil, p.Resets()
+				return descStabilize(opts, stable.Describe(), n, init.init, 0x1417, seed, cap)
 			}
 			bud := pilotBudget(opts, label, uint64(n*(ii+1)), budget(n, 3000),
 				func(seed uint64, cap int64) (int64, bool) {

@@ -1,0 +1,75 @@
+package proto
+
+import (
+	"math"
+	"testing"
+)
+
+type fakeState struct{ rank int }
+
+func fakeDesc() Descriptor[fakeState, struct{}] {
+	return Descriptor[fakeState, struct{}]{
+		Name:  "fake",
+		Inits: []string{"fresh", "random"},
+		Rank:  func(s *fakeState) int { return s.rank },
+	}
+}
+
+func TestDescriptorProjections(t *testing.T) {
+	d := fakeDesc()
+	states := []fakeState{{rank: 2}, {rank: 0}, {rank: 1}}
+	if got := d.Ranks(states); got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("Ranks = %v", got)
+	}
+	if got := d.RankedCount(states); got != 2 {
+		t.Fatalf("RankedCount = %d", got)
+	}
+	if got := d.LeaderOf(states); got != 2 {
+		t.Fatalf("LeaderOf = %d, want the rank-1 agent", got)
+	}
+	if got := d.LeaderOf(states[:2]); got != -1 {
+		t.Fatalf("LeaderOf without a rank-1 agent = %d, want -1", got)
+	}
+	d.Leader = func([]fakeState) int { return 7 }
+	if got := d.LeaderOf(states); got != 7 {
+		t.Fatalf("Leader override ignored: %d", got)
+	}
+	if !d.Supports("fresh") || !d.Supports("random") || d.Supports("nope") {
+		t.Fatal("Supports inconsistent with the init table")
+	}
+}
+
+func TestClampBudget(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1e6, 1_000_000},
+		{9.3e18, math.MaxInt64},        // just past MaxInt64
+		{math.MaxInt64, math.MaxInt64}, // float64(MaxInt64) rounds to 2⁶³
+		{math.Inf(1), math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := ClampBudget(c.in); got != c.want {
+			t.Fatalf("ClampBudget(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// The largest exactly-representable value below 2⁶³ must pass
+	// through unclamped.
+	below := math.Nextafter(math.MaxInt64, 0)
+	if got := ClampBudget(below); got == math.MaxInt64 || got <= 0 {
+		t.Fatalf("ClampBudget just below 2⁶³ = %d", got)
+	}
+	// Budget shapes stay positive and saturate instead of wrapping.
+	if got := BudgetN3(2000)(2_000_000); got != math.MaxInt64 {
+		t.Fatalf("BudgetN3(2000) at n=2×10⁶ = %d, want saturation", got)
+	}
+	if got := BudgetN2LogN(3000)(64); got != int64(3000*64*64*6) {
+		t.Fatalf("BudgetN2LogN(3000) at n=64 = %d", got)
+	}
+	if got := BudgetN2(5000)(100); got != 5000*100*100 {
+		t.Fatalf("BudgetN2(5000) at n=100 = %d", got)
+	}
+}

@@ -1,0 +1,242 @@
+package ssrank
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/faults"
+	"ssrank/internal/proto"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+)
+
+// Snapshot is one observation of a Simulation: the derived quantities
+// a probe or dashboard wants, extracted through the protocol's
+// descriptor at a point in time.
+type Snapshot struct {
+	// Interactions is the number of interactions executed when the
+	// snapshot was taken.
+	Interactions int64
+	// Ranks holds each agent's current rank (0 = unranked; leader bit
+	// for Loose).
+	Ranks []int
+	// RankedCount is the number of agents currently holding a rank.
+	RankedCount int
+	// Stable reports whether the configuration currently satisfies
+	// the protocol's stop condition.
+	Stable bool
+	// Leader is the index of the rank-1 agent, or -1.
+	Leader int
+	// Resets is the protocol's cumulative self-healing reset count.
+	Resets int64
+}
+
+// Simulation is a stepwise handle on any registered protocol: run a
+// while, inspect, corrupt, keep running — the API for fault-injection
+// demos and live exploration. It always runs on the serial engine
+// (stepwise control is incompatible with batch barriers).
+type Simulation struct {
+	desc  *Descriptor
+	h     simHandle
+	fault *rng.RNG
+}
+
+// NewSimulation starts a population described by cfg (protocol, init,
+// seed, ε — MaxInteractions and Shards are ignored; budgets are per
+// RunUntilStable call and the engine is serial).
+func NewSimulation(cfg Config) (*Simulation, error) {
+	d, cfg, err := normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, err := d.newSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{desc: d, h: h, fault: rng.New(cfg.Seed ^ 0xfa017)}, nil
+}
+
+// Protocol returns the protocol this simulation runs.
+func (s *Simulation) Protocol() Protocol { return s.desc.Protocol }
+
+// Descriptor returns the registered descriptor of the protocol this
+// simulation runs (the caller's own copy, see Describe).
+func (s *Simulation) Descriptor() *Descriptor { return s.desc.clone() }
+
+// N returns the population size.
+func (s *Simulation) N() int { return s.h.n() }
+
+// Step executes k interactions.
+func (s *Simulation) Step(k int64) { s.h.step(k) }
+
+// RunUntilStable executes interactions until the protocol's stop
+// condition holds, up to maxInteractions (0 = the protocol's default
+// budget on top of the interactions already executed). It evaluates
+// the condition through the protocol's incremental tracker, so it
+// stops at the exact hitting time. It reports whether the population
+// stabilized.
+func (s *Simulation) RunUntilStable(maxInteractions int64) bool {
+	if maxInteractions == 0 {
+		maxInteractions = s.defaultCap()
+	}
+	return s.h.runUntilStable(maxInteractions)
+}
+
+// defaultCap is the protocol's default budget on top of the
+// interactions already executed, saturating instead of overflowing
+// when the registered budget is already clamped to MaxInt64.
+func (s *Simulation) defaultCap() int64 {
+	done := s.h.interactions()
+	budget := s.desc.DefaultBudget(s.h.n())
+	if budget > math.MaxInt64-done {
+		return math.MaxInt64
+	}
+	return done + budget
+}
+
+// Observe executes interactions until the stop condition holds (polled
+// at the observation cadence) or maxInteractions is reached (0 = the
+// default budget on top of the interactions already executed),
+// invoking obs every `every` interactions (< 1 = every n), plus once
+// at the start and once at the final step. It reports whether the
+// population stabilized.
+func (s *Simulation) Observe(every, maxInteractions int64, obs func(Snapshot)) bool {
+	if maxInteractions == 0 {
+		maxInteractions = s.defaultCap()
+	}
+	s.h.observe(every, maxInteractions, obs)
+	return s.h.stable()
+}
+
+// Snapshot captures the current configuration's derived quantities.
+func (s *Simulation) Snapshot() Snapshot { return s.h.snapshot() }
+
+// Interactions returns the number of interactions executed so far.
+func (s *Simulation) Interactions() int64 { return s.h.interactions() }
+
+// Stable reports whether the current configuration satisfies the
+// protocol's stop condition.
+func (s *Simulation) Stable() bool { return s.h.stable() }
+
+// Ranks returns each agent's current rank, 0 for unranked agents.
+func (s *Simulation) Ranks() []int { return s.h.ranks() }
+
+// RankedCount returns the number of currently ranked agents.
+func (s *Simulation) RankedCount() int { return s.h.rankedCount() }
+
+// Leader returns the index of the rank-1 agent, or -1.
+func (s *Simulation) Leader() int { return s.h.leader() }
+
+// Resets returns the number of self-healing resets triggered so far
+// (0 for protocols without reset instrumentation).
+func (s *Simulation) Resets() int64 { return s.h.resets() }
+
+// ResetBreakdown classifies the resets by cause (nil for protocols
+// without a breakdown).
+func (s *Simulation) ResetBreakdown() map[string]int64 { return s.h.resetBreakdown() }
+
+// Corrupt overwrites k uniformly chosen agents with arbitrary states
+// from the protocol's state space — a transient fault burst.
+// Self-stabilizing protocols re-stabilize from it (that is their
+// defining property); protocols without a registered fault-injection
+// primitive return an error.
+func (s *Simulation) Corrupt(k int) error {
+	if k < 0 || k > s.h.n() {
+		return fmt.Errorf("ssrank: cannot corrupt %d of %d agents", k, s.h.n())
+	}
+	return s.h.corrupt(k, s.fault)
+}
+
+// simHandle is the type-erased surface of the generic stepwise driver.
+type simHandle interface {
+	n() int
+	step(k int64)
+	runUntilStable(maxSteps int64) bool
+	observe(every, maxSteps int64, obs func(Snapshot))
+	snapshot() Snapshot
+	interactions() int64
+	stable() bool
+	ranks() []int
+	rankedCount() int
+	leader() int
+	resets() int64
+	resetBreakdown() map[string]int64
+	corrupt(k int, r *rng.RNG) error
+}
+
+// simDriver is the one generic stepwise driver behind Simulation,
+// instantiated per protocol from its descriptor.
+type simDriver[S any, P sim.TouchReporter[S]] struct {
+	d proto.Descriptor[S, P]
+	p P
+	r *sim.Runner[S, P]
+}
+
+func newSimDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]) (simHandle, error) {
+	p := d.New(cfg.N)
+	init, err := descInit(cfg, d, p)
+	if err != nil {
+		return nil, err
+	}
+	return &simDriver[S, P]{d: d, p: p, r: sim.New[S](p, init, cfg.Seed)}, nil
+}
+
+func (s *simDriver[S, P]) n() int       { return s.r.N() }
+func (s *simDriver[S, P]) step(k int64) { s.r.Run(k) }
+
+func (s *simDriver[S, P]) runUntilStable(maxSteps int64) bool {
+	_, err := sim.RunUntilCondT(s.r, sim.DescCond(s.d, s.p), maxSteps)
+	return err == nil
+}
+
+func (s *simDriver[S, P]) observe(every, maxSteps int64, obs func(Snapshot)) {
+	s.r.Observe(func(steps int64, states []S) {
+		obs(s.snapshotAt(steps, states))
+	}, every, maxSteps, s.d.Valid)
+}
+
+func (s *simDriver[S, P]) snapshot() Snapshot {
+	return s.snapshotAt(s.r.Steps(), s.r.States())
+}
+
+func (s *simDriver[S, P]) snapshotAt(steps int64, states []S) Snapshot {
+	snap := Snapshot{
+		Interactions: steps,
+		Ranks:        s.d.Ranks(states),
+		RankedCount:  s.d.RankedCount(states),
+		Stable:       s.d.Valid(states),
+		Leader:       s.d.LeaderOf(states),
+	}
+	if s.d.Resets != nil {
+		snap.Resets = s.d.Resets(s.p)
+	}
+	return snap
+}
+
+func (s *simDriver[S, P]) interactions() int64 { return s.r.Steps() }
+func (s *simDriver[S, P]) stable() bool        { return s.d.Valid(s.r.States()) }
+func (s *simDriver[S, P]) ranks() []int        { return s.d.Ranks(s.r.States()) }
+func (s *simDriver[S, P]) rankedCount() int    { return s.d.RankedCount(s.r.States()) }
+func (s *simDriver[S, P]) leader() int         { return s.d.LeaderOf(s.r.States()) }
+
+func (s *simDriver[S, P]) resets() int64 {
+	if s.d.Resets == nil {
+		return 0
+	}
+	return s.d.Resets(s.p)
+}
+
+func (s *simDriver[S, P]) resetBreakdown() map[string]int64 {
+	if s.d.ResetBreakdown == nil {
+		return nil
+	}
+	return s.d.ResetBreakdown(s.p)
+}
+
+func (s *simDriver[S, P]) corrupt(k int, r *rng.RNG) error {
+	if s.d.RandomState == nil {
+		return fmt.Errorf("ssrank: protocol %q has no fault-injection primitive (it is not self-stabilizing)", s.d.Name)
+	}
+	faults.Corrupt(s.r.States(), k, r, func(rr *rng.RNG) S { return s.d.RandomState(s.p, rr) })
+	return nil
+}

@@ -10,30 +10,32 @@
 // yields self-stabilizing leader election by declaring the rank-1
 // agent the leader.
 //
-// This package is the stable public facade: Run executes any of the
-// implemented protocols to completion, and Simulation offers stepwise
-// control (inspection, fault injection) of the self-stabilizing
-// protocol. The full machinery — engine, substrates, baselines,
-// experiment harness — lives under internal/; see DESIGN.md.
+// This package is the stable public facade, organized around a
+// protocol descriptor registry: every implemented protocol registers
+// one Descriptor bundling its constructor, supported initial
+// configurations, validity predicate, exact-stop tracker, and output
+// projections. On top of the registry,
+//
+//   - Run executes any registered protocol to completion, stopping at
+//     the exact hitting time of its stop condition on the serial
+//     engine (Result.Exact);
+//   - Simulation offers stepwise control (inspection, snapshots,
+//     fault injection) of any registered protocol;
+//   - Replicate fans a configuration out across the deterministic
+//     parallel replication engine and reports aggregate statistics.
+//
+// The full machinery — engine, substrates, baselines, experiment
+// harness — lives under internal/; see DESIGN.md.
 package ssrank
 
 import (
 	"errors"
 	"fmt"
-	"math"
 
-	"ssrank/internal/baseline/aware"
-	"ssrank/internal/baseline/cai"
-	"ssrank/internal/baseline/interval"
-	"ssrank/internal/core"
-	"ssrank/internal/faults"
-	"ssrank/internal/rng"
-	"ssrank/internal/sim"
 	"ssrank/internal/sim/shard"
-	"ssrank/internal/stable"
 )
 
-// Protocol selects a ranking protocol.
+// Protocol selects a ranking (or leader-election) protocol.
 type Protocol string
 
 const (
@@ -55,43 +57,65 @@ const (
 	// from [1, (1+ε)n], O(n log n/ε) interactions, not
 	// self-stabilizing.
 	Interval Protocol = "interval"
+	// Loose is the loosely-stabilizing leader-election baseline in
+	// the style of Sudo et al.: from any configuration a unique
+	// leader emerges far faster than any silent protocol allows, but
+	// holds only w.h.p. for a long (tunable) holding time. It elects
+	// rather than ranks: Result.Ranks carries the leader bit (1 for
+	// the leader, 0 otherwise). Uniqueness is transient, so the
+	// reported configuration can postdate the hitting time by a few
+	// interactions (Result.Interactions is still exact), and only the
+	// serial exact tracker can measure the hitting time at all —
+	// Loose therefore ignores Config.Shards and always runs serially.
+	Loose Protocol = "loose"
 )
 
-// Protocols lists every selectable protocol.
+// Protocols lists every registered protocol, in registry order.
 func Protocols() []Protocol {
-	return []Protocol{StableRanking, SpaceEfficient, Cai, Aware, Interval}
+	out := make([]Protocol, len(registry))
+	for i, d := range registry {
+		out[i] = d.Protocol
+	}
+	return out
 }
 
-// Init selects the initial configuration for protocols that support
-// several (currently StableRanking).
+// Init selects the initial configuration for protocols that register
+// several (Descriptor.Inits; the first entry is the default).
 type Init string
 
 const (
-	// InitFresh starts every agent in the leader-election start state.
+	// InitFresh starts every agent in the protocol's designated start
+	// state.
 	InitFresh Init = "fresh"
-	// InitWorstCase is the paper's Fig. 2 adversarial initialization.
+	// InitWorstCase is the protocol's adversarial initialization: the
+	// paper's Fig. 2 configuration for StableRanking, the
+	// everyone-a-leader start for Loose.
 	InitWorstCase Init = "worst-case"
 	// InitRandom draws an arbitrary configuration uniformly from the
-	// state space.
+	// state space — the adversary of the self-stabilization claims.
 	InitRandom Init = "random"
 	// InitFig3 is the paper's Fig. 3 initialization (one unaware
-	// leader, everyone else decided in leader election).
+	// leader, everyone else decided in leader election;
+	// StableRanking only).
 	InitFig3 Init = "fig3"
 )
 
-// Config parameterizes Run.
+// Config parameterizes Run, NewSimulation and Replicate.
 type Config struct {
 	// N is the population size (≥ 2). Required.
 	N int
 	// Protocol selects the algorithm; default StableRanking.
 	Protocol Protocol
-	// Seed drives the scheduler; runs are deterministic in (Config).
+	// Seed drives the scheduler (and, salted, the initialization
+	// randomness); runs are deterministic in (Config).
 	Seed uint64
-	// Init selects the initial configuration (StableRanking only);
-	// default InitFresh.
+	// Init selects the initial configuration; default is the
+	// protocol's first registered init (InitFresh for all current
+	// protocols). Descriptor.Inits lists what a protocol supports.
 	Init Init
-	// MaxInteractions caps the run; 0 means a generous default of
-	// 3000·n²·log₂ n (several times the expected stabilization time).
+	// MaxInteractions caps the run; 0 means the protocol's registered
+	// default budget — several times the expected stabilization time,
+	// saturating at MaxInt64 for very large n.
 	MaxInteractions int64
 	// Epsilon is the range slack for Interval (default 1.0).
 	Epsilon float64
@@ -106,7 +130,9 @@ type Config struct {
 	// faster outright (DESIGN.md §3.2). The sentinel AutoShards (-1)
 	// derives the count from N and the machine's core count, staying
 	// serial for small populations — note the resolved count, and
-	// hence the trajectory, then depends on the machine.
+	// hence the trajectory, then depends on the machine. A sharded
+	// trajectory is only defined at batch barriers, so sharded runs
+	// stop on the polled validity scan (Result.Exact = false).
 	Shards int
 	// ShardWorkers bounds the shard worker pool when Shards > 1:
 	// < 1 means one worker per CPU. It trades wall clock for cores
@@ -116,14 +142,25 @@ type Config struct {
 
 // Result reports a completed run.
 type Result struct {
-	// Ranks holds each agent's final rank (1-based). For Interval the
-	// ranks live in [1, (1+ε)n].
+	// Ranks holds each agent's final rank (1-based; 0 = unranked).
+	// For Interval the ranks live in [1, (1+ε)n]; for Loose the rank
+	// is the leader bit (1 = leader).
 	Ranks []int
 	// Interactions is the number of pairwise interactions executed.
+	// When Exact, it is the exact hitting time of the protocol's stop
+	// condition.
 	Interactions int64
-	// Converged reports whether a valid silent ranking was reached
+	// Converged reports whether the protocol's stop condition (a
+	// valid silent ranking; a unique leader for Loose) was reached
 	// within the budget.
 	Converged bool
+	// Exact reports whether Interactions is the exact hitting time —
+	// the first interaction after which the stop condition held. True
+	// on the serial engine (the incremental tracker evaluates the
+	// condition after every interaction); false on the sharded engine
+	// (stops are polled at batch granularity) and when the budget ran
+	// out.
+	Exact bool
 	// Leader is the index of the rank-1 agent (-1 if none) — the
 	// elected leader under the paper's output function.
 	Leader int
@@ -146,276 +183,56 @@ var ErrNotConverged = errors.New("ssrank: ranking did not converge within the in
 // per shard) above.
 const AutoShards = shard.Auto
 
-// Run executes the configured protocol until it reaches a valid silent
-// ranking (or the budget runs out).
+// Run executes the configured protocol until it reaches its stop
+// condition — a valid silent ranking, a unique leader for Loose — or
+// the budget runs out. On the serial engine (Shards ≤ 1) the run
+// stops at the exact hitting time via the protocol's registered
+// incremental tracker; on the sharded engine validity is polled at
+// batch granularity (Result.Exact).
 func Run(cfg Config) (Result, error) {
+	d, cfg, err := normalize(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return d.run(cfg)
+}
+
+// normalize validates cfg against the registry and fills defaults
+// (protocol, init, ε, budget). It is the single vetting path shared by
+// Run, NewSimulation and Replicate.
+func normalize(cfg Config) (*Descriptor, Config, error) {
 	if cfg.N < 2 {
-		return Result{}, fmt.Errorf("ssrank: N must be >= 2, got %d", cfg.N)
+		return nil, cfg, fmt.Errorf("ssrank: N must be >= 2, got %d", cfg.N)
 	}
 	if cfg.Protocol == "" {
 		cfg.Protocol = StableRanking
 	}
-	if cfg.Init == "" {
-		cfg.Init = InitFresh
+	d, ok := lookup(cfg.Protocol)
+	if !ok {
+		return nil, cfg, fmt.Errorf("ssrank: unknown protocol %q", cfg.Protocol)
 	}
-	if cfg.MaxInteractions == 0 {
-		cfg.MaxInteractions = defaultBudget(cfg.N, cfg.Protocol)
+	if cfg.Init == "" {
+		cfg.Init = d.Inits[0]
+	}
+	if !d.Supports(cfg.Init) {
+		return nil, cfg, fmt.Errorf("ssrank: protocol %q supports inits %v, got %q", cfg.Protocol, d.Inits, cfg.Init)
 	}
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 1.0
 	}
-
-	switch cfg.Protocol {
-	case StableRanking:
-		return runStable(cfg)
-	case SpaceEfficient:
-		return runCore(cfg)
-	case Cai:
-		return runCai(cfg)
-	case Aware:
-		return runAware(cfg)
-	case Interval:
-		return runInterval(cfg)
-	default:
-		return Result{}, fmt.Errorf("ssrank: unknown protocol %q", cfg.Protocol)
+	if cfg.MaxInteractions == 0 {
+		cfg.MaxInteractions = d.DefaultBudget(cfg.N)
 	}
+	return d, cfg, nil
 }
 
-// runRanking executes protocol p from init until valid holds (polled
-// on the engine's default cadence) on the engine cfg selects: the
-// serial sim.Runner, or the sharded runner when cfg.Shards > 1. It
-// returns the final configuration and the interaction count alongside
-// any budget-exhaustion error.
-func runRanking[S any, P sim.Protocol[S]](cfg Config, p P, init []S, valid func([]S) bool) ([]S, int64, error) {
-	shards := cfg.Shards
-	if shards == AutoShards {
-		shards = shard.AutoShards(cfg.N, 0)
-	}
-	if shards > 1 {
-		r := shard.New[S](p, init, cfg.Seed, shards, cfg.ShardWorkers)
-		_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
-		return r.States(), r.Steps(), err
-	}
-	r := sim.New[S](p, init, cfg.Seed)
-	_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
-	return r.States(), r.Steps(), err
-}
-
+// defaultBudget returns the registered default interaction budget for
+// protocol p at population size n (0 for unknown protocols). Budgets
+// are computed in float64 and saturate at MaxInt64, so very large n
+// cannot overflow into a negative or tiny cap.
 func defaultBudget(n int, p Protocol) int64 {
-	lg := math.Log2(float64(n))
-	switch p {
-	case Cai:
-		return int64(2000 * float64(n) * float64(n) * float64(n))
-	case Interval:
-		return int64(5000 * float64(n) * float64(n))
-	default:
-		return int64(3000 * float64(n) * float64(n) * lg)
+	if d, ok := lookup(p); ok {
+		return d.DefaultBudget(n)
 	}
-}
-
-func runStable(cfg Config) (Result, error) {
-	p := stable.New(cfg.N, stable.DefaultParams())
-	var init []stable.State
-	switch cfg.Init {
-	case InitFresh:
-		init = p.InitialStates()
-	case InitWorstCase:
-		init = p.WorstCaseInit()
-	case InitRandom:
-		init = p.RandomConfig(rng.New(cfg.Seed ^ 0xc0ffee))
-	case InitFig3:
-		init = p.Fig3Init()
-	default:
-		return Result{}, fmt.Errorf("ssrank: unknown init %q", cfg.Init)
-	}
-	states, steps, err := runRanking(cfg, p, init, stable.Valid)
-	res := Result{
-		Ranks:          stableRanks(states),
-		Interactions:   steps,
-		Converged:      err == nil,
-		Leader:         stable.LeaderRank1(states),
-		Resets:         p.Resets(),
-		ResetBreakdown: p.ResetBreakdown(),
-	}
-	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
-	}
-	return res, nil
-}
-
-func stableRanks(states []stable.State) []int {
-	out := make([]int, len(states))
-	for i, s := range states {
-		if s.Mode == stable.ModeRanked {
-			out[i] = int(s.Rank)
-		}
-	}
-	return out
-}
-
-func runCore(cfg Config) (Result, error) {
-	if cfg.Init != InitFresh {
-		return Result{}, fmt.Errorf("ssrank: protocol %q supports only the fresh init (it is not self-stabilizing)", cfg.Protocol)
-	}
-	p := core.New(cfg.N, core.DefaultParams())
-	states, steps, err := runRanking(cfg, p, p.InitialStates(), core.Valid)
-	res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
-	res.Ranks = make([]int, cfg.N)
-	for i, s := range states {
-		if s.Kind == core.KindRanked {
-			res.Ranks[i] = int(s.Rank)
-			if s.Rank == 1 {
-				res.Leader = i
-			}
-		}
-	}
-	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
-	}
-	return res, nil
-}
-
-func runCai(cfg Config) (Result, error) {
-	p := cai.New(cfg.N)
-	var init []cai.State
-	switch cfg.Init {
-	case InitFresh:
-		init = p.InitialStates()
-	case InitRandom:
-		rr := rng.New(cfg.Seed ^ 0xc0ffee)
-		init = make([]cai.State, cfg.N)
-		for i := range init {
-			init[i] = cai.State(1 + rr.Intn(cfg.N))
-		}
-	default:
-		return Result{}, fmt.Errorf("ssrank: protocol %q supports inits %q and %q", cfg.Protocol, InitFresh, InitRandom)
-	}
-	states, steps, err := runRanking(cfg, p, init, cai.Valid)
-	res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
-	res.Ranks = make([]int, cfg.N)
-	for i, s := range states {
-		res.Ranks[i] = int(s)
-		if s == 1 {
-			res.Leader = i
-		}
-	}
-	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
-	}
-	return res, nil
-}
-
-func runAware(cfg Config) (Result, error) {
-	p := aware.New(cfg.N, aware.DefaultParams())
-	if cfg.Init != InitFresh {
-		return Result{}, fmt.Errorf("ssrank: protocol %q currently supports only the fresh init", cfg.Protocol)
-	}
-	states, steps, err := runRanking(cfg, p, p.InitialStates(), aware.Valid)
-	res := Result{Interactions: steps, Converged: err == nil, Leader: -1, Resets: p.Resets()}
-	res.Ranks = make([]int, cfg.N)
-	for i, s := range states {
-		if s.Mode == aware.ModeRanked {
-			res.Ranks[i] = int(s.Rank)
-			if s.Rank == 1 {
-				res.Leader = i
-			}
-		}
-	}
-	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
-	}
-	return res, nil
-}
-
-func runInterval(cfg Config) (Result, error) {
-	if cfg.Init != InitFresh {
-		return Result{}, fmt.Errorf("ssrank: protocol %q supports only the fresh init (it is not self-stabilizing)", cfg.Protocol)
-	}
-	p := interval.New(cfg.N, cfg.Epsilon)
-	states, steps, err := runRanking(cfg, p, p.InitialStates(), interval.Valid)
-	res := Result{Interactions: steps, Converged: err == nil, Leader: -1}
-	res.Ranks = make([]int, cfg.N)
-	for i, rk := range interval.Ranks(states) {
-		res.Ranks[i] = int(rk)
-		if rk == 1 {
-			res.Leader = i
-		}
-	}
-	if err != nil {
-		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
-	}
-	return res, nil
-}
-
-// Simulation is a stepwise handle on the self-stabilizing protocol:
-// run a while, inspect, corrupt, keep running — the API for fault
-// injection demos and live exploration.
-type Simulation struct {
-	p     *stable.Protocol
-	r     *sim.Runner[stable.State, *stable.Protocol]
-	fault *rng.RNG
-}
-
-// NewSimulation starts a StableRanking population of n agents in the
-// fresh initial configuration.
-func NewSimulation(n int, seed uint64) (*Simulation, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("ssrank: N must be >= 2, got %d", n)
-	}
-	p := stable.New(n, stable.DefaultParams())
-	return &Simulation{
-		p:     p,
-		r:     sim.New[stable.State](p, p.InitialStates(), seed),
-		fault: rng.New(seed ^ 0xfa017),
-	}, nil
-}
-
-// N returns the population size.
-func (s *Simulation) N() int { return s.r.N() }
-
-// Step executes k interactions.
-func (s *Simulation) Step(k int64) { s.r.Run(k) }
-
-// RunUntilStable executes interactions until the ranking is valid, up
-// to maxInteractions (0 = the default budget). It reports whether the
-// population stabilized.
-func (s *Simulation) RunUntilStable(maxInteractions int64) bool {
-	if maxInteractions == 0 {
-		maxInteractions = s.r.Steps() + defaultBudget(s.r.N(), StableRanking)
-	}
-	_, err := s.r.RunUntil(stable.Valid, 0, maxInteractions)
-	return err == nil
-}
-
-// Interactions returns the number of interactions executed so far.
-func (s *Simulation) Interactions() int64 { return s.r.Steps() }
-
-// Stable reports whether the current configuration is a valid silent
-// ranking.
-func (s *Simulation) Stable() bool { return stable.Valid(s.r.States()) }
-
-// Ranks returns each agent's current rank, 0 for unranked agents.
-func (s *Simulation) Ranks() []int { return stableRanks(s.r.States()) }
-
-// RankedCount returns the number of currently ranked agents.
-func (s *Simulation) RankedCount() int { return stable.RankedCount(s.r.States()) }
-
-// Leader returns the index of the rank-1 agent, or -1.
-func (s *Simulation) Leader() int { return stable.LeaderRank1(s.r.States()) }
-
-// Resets returns the number of self-healing resets triggered so far.
-func (s *Simulation) Resets() int64 { return s.p.Resets() }
-
-// ResetBreakdown classifies the resets by cause.
-func (s *Simulation) ResetBreakdown() map[string]int64 { return s.p.ResetBreakdown() }
-
-// Corrupt overwrites k uniformly chosen agents with arbitrary states
-// from the protocol's state space — a transient fault burst. The
-// protocol will re-stabilize (Theorem 2).
-func (s *Simulation) Corrupt(k int) error {
-	if k < 0 || k > s.r.N() {
-		return fmt.Errorf("ssrank: cannot corrupt %d of %d agents", k, s.r.N())
-	}
-	faults.Corrupt(s.r.States(), k, s.fault, s.p.RandomState)
-	return nil
+	return 0
 }

@@ -2,6 +2,7 @@ package ssrank
 
 import (
 	"errors"
+	"math"
 	"testing"
 )
 
@@ -30,14 +31,34 @@ func TestRunAllProtocols(t *testing.T) {
 			if !res.Converged {
 				t.Fatal("Converged false without error")
 			}
-			max := 64
-			if proto == Interval {
-				max = 128 // ε = 1 ⇒ range [1, 2n]
+			if !res.Exact {
+				t.Fatalf("serial run of %s did not report an exact hitting time", proto)
 			}
-			if !isPermutation(res.Ranks, max) {
-				t.Fatalf("ranks not distinct in [1, %d]: %v", max, res.Ranks)
-			}
-			if proto != Interval {
+			switch proto {
+			case Loose:
+				// Loose elects, it does not rank: the leader bit is the
+				// only projection, and uniqueness is transient (the
+				// configuration may postdate the hitting time).
+				ones := 0
+				for _, r := range res.Ranks {
+					if r == 1 {
+						ones++
+					} else if r != 0 {
+						t.Fatalf("loose rank outside {0, 1}: %v", res.Ranks)
+					}
+				}
+				if ones < 1 {
+					t.Fatalf("no leader flagged: %v", res.Ranks)
+				}
+				return
+			case Interval:
+				if !isPermutation(res.Ranks, 128) { // ε = 1 ⇒ range [1, 2n]
+					t.Fatalf("ranks not distinct in [1, 128]: %v", res.Ranks)
+				}
+			default:
+				if !isPermutation(res.Ranks, 64) {
+					t.Fatalf("ranks not a permutation of 1..64: %v", res.Ranks)
+				}
 				if res.Leader < 0 || res.Ranks[res.Leader] != 1 {
 					t.Fatalf("leader = %d, ranks = %v", res.Leader, res.Ranks)
 				}
@@ -46,6 +67,29 @@ func TestRunAllProtocols(t *testing.T) {
 				t.Fatal("no interactions recorded")
 			}
 		})
+	}
+}
+
+// TestRunAllInits drives every registered protocol × init combination
+// through Run — the registry is the test matrix, so a protocol that
+// registers a new init is covered automatically.
+func TestRunAllInits(t *testing.T) {
+	for _, d := range Descriptors() {
+		for _, init := range d.Inits {
+			d, init := d, init
+			t.Run(string(d.Protocol)+"/"+string(init), func(t *testing.T) {
+				res, err := Run(Config{N: 48, Protocol: d.Protocol, Init: init, Seed: 4})
+				if err != nil {
+					if d.Protocol == SpaceEfficient && errors.Is(err, ErrNotConverged) {
+						t.Skip("w.h.p. protocol lost the leader lottery at this seed")
+					}
+					t.Fatal(err)
+				}
+				if !res.Converged || !res.Exact {
+					t.Fatalf("converged=%t exact=%t", res.Converged, res.Exact)
+				}
+			})
+		}
 	}
 }
 
@@ -106,16 +150,107 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestRunBudgetExhaustion(t *testing.T) {
-	_, err := Run(Config{N: 64, Seed: 1, MaxInteractions: 10})
+	res, err := Run(Config{N: 64, Seed: 1, MaxInteractions: 10})
 	if !errors.Is(err, ErrNotConverged) {
 		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+	if res.Exact {
+		t.Fatal("a budget-exhausted run has no hitting time to be exact about")
+	}
+}
+
+func TestDescriptors(t *testing.T) {
+	ds := Descriptors()
+	if len(ds) != 6 {
+		t.Fatalf("registered %d protocols, want 6", len(ds))
+	}
+	for _, d := range ds {
+		if len(d.Inits) == 0 {
+			t.Fatalf("%s: empty init table", d.Protocol)
+		}
+		if d.Inits[0] != InitFresh {
+			t.Fatalf("%s: default init %q, want fresh first", d.Protocol, d.Inits[0])
+		}
+		if !d.Supports(d.Inits[0]) || d.Supports("nope") {
+			t.Fatalf("%s: Supports is inconsistent with Inits %v", d.Protocol, d.Inits)
+		}
+		if b := d.DefaultBudget(64); b <= 0 {
+			t.Fatalf("%s: default budget %d at n=64", d.Protocol, b)
+		}
+		lookedUp, ok := Describe(d.Protocol)
+		if !ok || lookedUp.Protocol != d.Protocol || len(lookedUp.Inits) != len(d.Inits) ||
+			lookedUp.SelfStabilizing != d.SelfStabilizing {
+			t.Fatalf("Describe(%s) does not round-trip", d.Protocol)
+		}
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Fatal("Describe accepted an unknown protocol")
+	}
+	if got := len(Protocols()); got != len(ds) {
+		t.Fatalf("Protocols() lists %d, Descriptors() %d", got, len(ds))
+	}
+	// Returned descriptors are the caller's own copies: mutating one
+	// must not corrupt registry dispatch.
+	d, _ := Describe(StableRanking)
+	d.Inits[0] = "corrupted"
+	d.DefaultBudget = nil
+	if res, err := Run(Config{N: 16, Seed: 1}); err != nil || !res.Converged {
+		t.Fatalf("mutating a Describe copy corrupted the registry: %v", err)
+	}
+	if fresh, _ := Describe(StableRanking); fresh.Inits[0] != InitFresh {
+		t.Fatalf("registry init table corrupted: %v", fresh.Inits)
+	}
+}
+
+// TestLooseIgnoresShards pins the transient-stop guard: the sharded
+// engine's polled scan can miss a transient uniqueness window, so
+// Loose must run serially (and exactly) even when shards are
+// requested.
+func TestLooseIgnoresShards(t *testing.T) {
+	serial, err := Run(Config{N: 64, Protocol: Loose, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run(Config{N: 64, Protocol: Loose, Seed: 3, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sharded.Exact || sharded.Interactions != serial.Interactions {
+		t.Fatalf("loose with Shards=4 diverged from the serial exact run: %+v vs %+v", sharded, serial)
+	}
+}
+
+// TestDefaultBudgetNoOverflow pins the satellite fix: budgets are
+// computed in float64 and saturate at MaxInt64 instead of overflowing
+// int64 arithmetic (Cai's 2000·n³ exceeds MaxInt64 near n ≈ 1.7×10⁶).
+func TestDefaultBudgetNoOverflow(t *testing.T) {
+	for _, p := range Protocols() {
+		for _, n := range []int{2, 64, 1_700_000, 2_000_000, 1 << 31} {
+			b := defaultBudget(n, p)
+			if b <= 0 {
+				t.Fatalf("%s: budget %d at n=%d", p, b, n)
+			}
+		}
+		if small, large := defaultBudget(64, p), defaultBudget(1<<31, p); large < small {
+			t.Fatalf("%s: budget not monotone (%d at n=64 vs %d at n=2³¹)", p, small, large)
+		}
+	}
+	if got := defaultBudget(2_000_000, Cai); got != math.MaxInt64 {
+		t.Fatalf("cai budget at n=2×10⁶ = %d, want MaxInt64 saturation", got)
+	}
+	// Below the saturation point the float64 product is exact.
+	if got, want := defaultBudget(1000, Cai), int64(2000)*1000*1000*1000; got != want {
+		t.Fatalf("cai budget at n=10³ = %d, want %d", got, want)
 	}
 }
 
 func TestSimulationLifecycle(t *testing.T) {
-	s, err := NewSimulation(48, 5)
+	s, err := NewSimulation(Config{N: 48, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if s.Protocol() != StableRanking {
+		t.Fatalf("default protocol = %s", s.Protocol())
 	}
 	if s.N() != 48 || s.Stable() {
 		t.Fatal("fresh simulation misreports")
@@ -136,10 +271,15 @@ func TestSimulationLifecycle(t *testing.T) {
 	if s.Interactions() <= 0 {
 		t.Fatal("no interactions recorded")
 	}
+	snap := s.Snapshot()
+	if !snap.Stable || snap.Leader != leader || snap.RankedCount != 48 ||
+		snap.Interactions != s.Interactions() {
+		t.Fatalf("snapshot disagrees with the live accessors: %+v", snap)
+	}
 }
 
 func TestSimulationFaultRecovery(t *testing.T) {
-	s, err := NewSimulation(48, 7)
+	s, err := NewSimulation(Config{N: 48, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,15 +297,119 @@ func TestSimulationFaultRecovery(t *testing.T) {
 	}
 }
 
+// TestSimulationGeneric exercises the protocol-generic surface the
+// redesign added: a non-default protocol with a non-default init,
+// fault injection through its descriptor, and cadenced observation.
+func TestSimulationGeneric(t *testing.T) {
+	s, err := NewSimulation(Config{N: 32, Protocol: Cai, Init: InitRandom, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Snapshot
+	if !s.Observe(0, 0, func(sn Snapshot) { snaps = append(snaps, sn) }) {
+		t.Fatal("cai did not stabilize under observation")
+	}
+	if len(snaps) < 2 || snaps[0].Interactions != 0 {
+		t.Fatalf("observation cadence broken: %d snapshots", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Stable || !isPermutation(last.Ranks, 32) {
+		t.Fatalf("final snapshot not a valid ranking: %+v", last)
+	}
+	if err := s.Corrupt(8); err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntilStable(0) {
+		t.Fatal("cai did not recover from corruption")
+	}
+}
+
 func TestSimulationErrors(t *testing.T) {
-	if _, err := NewSimulation(1, 0); err == nil {
+	if _, err := NewSimulation(Config{N: 1}); err == nil {
 		t.Fatal("N=1 accepted")
 	}
-	s, _ := NewSimulation(8, 0)
+	if _, err := NewSimulation(Config{N: 8, Protocol: "nope"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	s, _ := NewSimulation(Config{N: 8})
 	if err := s.Corrupt(9); err == nil {
 		t.Fatal("overlong corruption accepted")
 	}
 	if err := s.Corrupt(-1); err == nil {
 		t.Fatal("negative corruption accepted")
+	}
+	// Protocols without a fault-injection primitive refuse Corrupt.
+	iv, err := NewSimulation(Config{N: 8, Protocol: Interval})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := iv.Corrupt(2); err == nil {
+		t.Fatal("interval accepted corruption without a RandomState primitive")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	cfg := Config{N: 32, Seed: 21}
+	var order []int
+	rep, err := Replicate(cfg, ReplicateOptions{
+		Trials:  6,
+		OnTrial: func(trial, committed int, _ Result) { order = append(order, trial) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 6 || len(rep.Results) != 6 {
+		t.Fatalf("committed %d/%d trials", rep.Trials, len(rep.Results))
+	}
+	if rep.Converged != 6 {
+		t.Fatalf("converged %d/6", rep.Converged)
+	}
+	for i, want := range []int{0, 1, 2, 3, 4, 5} {
+		if order[i] != want {
+			t.Fatalf("commits out of trial order: %v", order)
+		}
+	}
+	if rep.Interactions.N != 6 || rep.Interactions.Mean <= 0 ||
+		rep.Interactions.Min > rep.Interactions.Mean || rep.Interactions.Max < rep.Interactions.Mean {
+		t.Fatalf("interactions summary inconsistent: %+v", rep.Interactions)
+	}
+	// Workers must not change anything: the summary is a pure
+	// function of (cfg, options minus Workers).
+	serial, err := Replicate(cfg, ReplicateOptions{Trials: 6, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Interactions != rep.Interactions || serial.Converged != rep.Converged {
+		t.Fatalf("worker pool changed the outcome: %+v vs %+v", serial.Interactions, rep.Interactions)
+	}
+	for i := range serial.Results {
+		if serial.Results[i].Interactions != rep.Results[i].Interactions {
+			t.Fatalf("trial %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestReplicatePrecision(t *testing.T) {
+	rep, err := Replicate(Config{N: 24, Seed: 5}, ReplicateOptions{Trials: 64, Precision: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials >= 64 && rep.Interactions.CI95 > 0.5*rep.Interactions.Mean {
+		t.Fatalf("precision stop neither met nor hit the ceiling: %+v", rep)
+	}
+	if rep.Trials < 1 {
+		t.Fatal("no trials committed")
+	}
+}
+
+func TestReplicateErrors(t *testing.T) {
+	if _, err := Replicate(Config{N: 1}, ReplicateOptions{Trials: 3}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := Replicate(Config{N: 8}, ReplicateOptions{Trials: 0}); err == nil {
+		t.Fatal("Trials=0 accepted")
+	}
+	if _, err := Replicate(Config{N: 8}, ReplicateOptions{Trials: 3, Precision: -1}); err == nil {
+		t.Fatal("negative precision accepted")
 	}
 }
