@@ -10,6 +10,14 @@
 //	    # stream replications until the 95% CI on the convergence time
 //	    # is within ±5% of its mean (at most 500 trials)
 //
+// Naming a -scheduler (or setting any fault flag) routes the run
+// through the round-based message network instead of the in-place
+// engines:
+//
+//	ssrank -n 64 -drop 0.05 -delaymax 3    # faulty uniform network
+//	ssrank -n 64 -scheduler expander       # sparse contact graph
+//	                                       # (expect non-convergence)
+//
 // -list prints the protocol registry: every registered protocol with
 // its supported inits and default budget at the configured -n.
 //
@@ -45,6 +53,16 @@ func protocolNames() string {
 	return strings.Join(names, " | ")
 }
 
+// schedulerNames renders the topology registry for the -scheduler
+// flag help.
+func schedulerNames() string {
+	names := make([]string, 0, 8)
+	for _, s := range ssrank.Schedulers() {
+		names = append(names, string(s))
+	}
+	return strings.Join(names, " | ")
+}
+
 func run() int {
 	var (
 		n         = flag.Int("n", 256, "population size (>= 2)")
@@ -62,8 +80,16 @@ func run() int {
 		precision = flag.Float64("precision", 0, "with -trials: stop replicating once the 95% CI half-width of the convergence time falls below this fraction of the mean")
 		maxtrials = flag.Int("maxtrials", 0, "with -precision: trial ceiling (defaults to -trials)")
 		progress  = flag.Bool("progress", false, "with -trials: stream per-trial progress to stderr")
+		scheduler = flag.String("scheduler", "", "communication topology, routing the run through the round-based message network: "+schedulerNames()+" (empty = the in-place engines)")
+		drop      = flag.Float64("drop", 0, "message-network fault: probability a message is lost in flight")
+		dup       = flag.Float64("dup", 0, "message-network fault: probability a message is delivered twice")
+		delaymax  = flag.Int("delaymax", 0, "message-network fault: delay each message by up to this many rounds")
+		reorder   = flag.Float64("reorder", 0, "message-network fault: probability a round's delivery queue is shuffled")
 	)
 	flag.Parse()
+
+	sched := ssrank.Scheduler(*scheduler)
+	netFaults := ssrank.Faults{DropProb: *drop, DupProb: *dup, DelayMax: *delaymax, ReorderProb: *reorder}
 
 	if *list {
 		return listProtocols(*n)
@@ -110,8 +136,11 @@ func run() int {
 			MaxInteractions: *budget,
 			Epsilon:         *epsilon,
 			Shards:          shardCount,
+			Scheduler:       sched,
+			Faults:          netFaults,
 			// Within a replication sweep the trial pool owns the
-			// cores; sharded trials run their phases serially.
+			// cores; sharded trials (and message-network deliveries)
+			// run their phases serially.
 			ShardWorkers: 1,
 		}, ceiling, *parallel, *precision, *progress)
 	}
@@ -125,6 +154,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ssrank: -trace and -shards are mutually exclusive")
 			return 2
 		}
+		if sched != "" || netFaults != (ssrank.Faults{}) {
+			fmt.Fprintln(os.Stderr, "ssrank: -trace probes the in-place engine; it cannot combine with -scheduler or the fault flags")
+			return 2
+		}
 		return runTraced(*n, *init, *seed, *budget, *traceOut)
 	}
 
@@ -136,6 +169,8 @@ func run() int {
 		MaxInteractions: *budget,
 		Epsilon:         *epsilon,
 		Shards:          shardCount,
+		Scheduler:       sched,
+		Faults:          netFaults,
 	})
 	if err != nil && !errors.Is(err, ssrank.ErrNotConverged) {
 		fmt.Fprintln(os.Stderr, "ssrank:", err)
@@ -146,6 +181,9 @@ func run() int {
 	fmt.Printf("protocol=%s n=%d seed=%d\n", *protocol, *n, *seed)
 	fmt.Printf("converged=%t interactions=%d (%.2f n²) exact=%t\n",
 		res.Converged, res.Interactions, norm, res.Exact)
+	if res.Rounds > 0 {
+		fmt.Printf("rounds=%d (message network)\n", res.Rounds)
+	}
 	if res.Leader >= 0 {
 		fmt.Printf("leader=agent %d (rank 1)\n", res.Leader)
 	}

@@ -139,9 +139,15 @@ func describe[S any, P sim.TouchReporter[S]](mk func(Config) proto.Descriptor[S,
 		SelfStabilizing: meta.SelfStabilizing,
 		DefaultBudget:   meta.Budget,
 		run: func(cfg Config) (Result, error) {
+			if cfg.messageNetwork() {
+				return runMsgNetDesc(cfg, mk(cfg))
+			}
 			return runDesc(cfg, mk(cfg))
 		},
 		newSim: func(cfg Config) (simHandle, error) {
+			if cfg.messageNetwork() {
+				return newMsgSimDriver(cfg, mk(cfg))
+			}
 			return newSimDriver(cfg, mk(cfg))
 		},
 	}

@@ -142,6 +142,7 @@ func All(opts Options) []Figure {
 		AblationLEBudget(opts),
 		PhaseStructure(opts),
 		LooseVsSilent(opts),
+		MsgNetFaultRegimes(opts),
 	}
 }
 
@@ -165,6 +166,7 @@ var Registry = map[string]func(Options) Figure{
 	"E16": AblationLEBudget,
 	"E17": PhaseStructure,
 	"E18": LooseVsSilent,
+	"E19": MsgNetFaultRegimes,
 }
 
 // runTrials fans a fixed work list out over the streaming engine —

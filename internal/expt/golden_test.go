@@ -44,6 +44,12 @@ func TestGoldenFigureCSV(t *testing.T) {
 		// derivation, or cross reconciliation order fails here instead
 		// of silently shifting sharded experiment output.
 		{"e2_quick_shards4.golden.csv", shards4(Figure3)},
+		// The message-network counterpart pins the E19 fault-regime
+		// grid: any change to the msgnet round structure, fault-fate
+		// stream, scheduler graphs, or rendezvous bookkeeping shifts
+		// rounds/steps and fails here instead of silently rewriting
+		// the fault-tolerance findings.
+		{"e19_quick.golden.csv", MsgNetFaultRegimes},
 	} {
 		t.Run(tc.golden, func(t *testing.T) {
 			t.Parallel()

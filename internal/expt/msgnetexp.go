@@ -1,0 +1,135 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/plot"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim/msgnet"
+	"ssrank/internal/stable"
+	"ssrank/internal/stats"
+)
+
+// msgnetInitSalt decorrelates the message-network trials' init
+// randomness from the scheduler/fault streams (cf. the facade's
+// initSeedSalt; a different constant, so E19 trials and facade runs
+// with the same seed stay independent draws).
+const msgnetInitSalt = 0x6e6574
+
+// MsgNetFaultRegimes (E19) measures what the paper's model abstracts
+// away: how the flagship protocol's stabilization degrades when the
+// uniform atomic-interaction scheduler is replaced by a round-based
+// message network with an adversarial channel. The grid crosses
+// contact graphs (complete/uniform vs a sparse expander) with fault
+// regimes (drops, duplicates, delays, and a lossy composite), running
+// every cell through internal/sim/msgnet under a common budget.
+//
+// Two findings are pinned here. First, faults degrade gracefully on
+// the complete graph: delays are a pure slowdown (stale requests are
+// deferred, not applied), while drops and duplicates cost a
+// multiplicative factor in rounds. Second — the headline — the
+// protocol needs the complete contact graph: rank conflicts are
+// resolved only when the conflicting agents meet directly, so on the
+// sparse expander no regime converges at all (convergence column 0),
+// not even fault-free.
+func MsgNetFaultRegimes(opts Options) Figure {
+	n := 64
+	trials := 4
+	if opts.Quick {
+		n = 24
+		trials = 2
+	}
+	// One budget for every cell, a few times the worst observed
+	// convergence of the lossy composite; the sparse cells spend it
+	// fully — that non-convergence is the measurement.
+	cap := budget(n, 150)
+	norm := float64(n) * float64(n) * math.Log2(float64(n))
+
+	graphs := []string{msgnet.Uniform, msgnet.Expander}
+	regimes := []struct {
+		name string
+		f    msgnet.Faults
+	}{
+		{"none", msgnet.Faults{}},
+		{"drop5", msgnet.Faults{Drop: 0.05}},
+		{"dup5", msgnet.Faults{Dup: 0.05}},
+		{"delay4", msgnet.Faults{DelayMax: 4}},
+		{"lossy", msgnet.Faults{Drop: 0.02, Dup: 0.02, DelayMax: 2, Reorder: 0.5}},
+	}
+
+	fig := Figure{
+		ID:    "E19",
+		Title: fmt.Sprintf("Message-network fault regimes — stabilization across communication models (n=%d)", n),
+		Header: []string{
+			"graph", "regime", "trials", "converged",
+			"median_rounds", "median_steps_over_n2logn", "slowdown_vs_none",
+		},
+	}
+
+	d := stable.Describe()
+	for gi, graph := range graphs {
+		baseline := math.NaN() // median rounds of this graph's fault-free cell
+		for ri, regime := range regimes {
+			type trialR struct {
+				converged bool
+				rounds    float64
+				steps     float64
+			}
+			salt := uint64(0xe19)<<16 ^ uint64(gi)<<8 ^ uint64(ri)
+			res := runTrialsStat(opts, fmt.Sprintf("E19 %s/%s", graph, regime.name), salt, trials,
+				func(t trialR) (float64, bool) { return t.rounds, t.converged },
+				func(_ int, seed uint64) trialR {
+					p := d.New(n)
+					sched, err := msgnet.NewScheduler(graph, n, 0, seed)
+					if err != nil {
+						panic(err)
+					}
+					nw := msgnet.New[stable.State](p, d.Init(p, d.Inits[0], rng.New(seed^msgnetInitSalt)), msgnet.Config{
+						Sched:  sched,
+						Faults: regime.f,
+						// The trial pool owns the cores; deliveries
+						// stay serial (the trajectory is identical
+						// either way).
+						Workers: 1,
+						Seed:    seed,
+					})
+					steps, rerr := nw.RunUntil(d.Valid, cap)
+					return trialR{
+						converged: rerr == nil,
+						rounds:    float64(nw.Rounds()),
+						steps:     float64(steps),
+					}
+				})
+			var rounds, steps []float64
+			converged := 0
+			for _, t := range res {
+				if !t.converged {
+					continue
+				}
+				converged++
+				rounds = append(rounds, t.rounds)
+				steps = append(steps, t.steps/norm)
+			}
+			medRounds, medSteps, slowdown := "-", "-", "-"
+			if converged > 0 {
+				m := stats.Median(rounds)
+				medRounds, medSteps = f4(m), f4(stats.Median(steps))
+				if regime.name == "none" {
+					baseline = m
+				} else if !math.IsNaN(baseline) {
+					slowdown = f2(m / baseline)
+				}
+			}
+			fig.Rows = append(fig.Rows, []string{
+				graph, regime.name, itoa(len(res)), itoa(converged), medRounds, medSteps, slowdown,
+			})
+		}
+	}
+	fig.ASCII = plot.Table(fig.Header, fig.Rows)
+	fig.Notes = append(fig.Notes,
+		"uniform (complete) graph: every regime converges — delays are a near-pure slowdown, drops/duplicates cost a multiplicative factor in rounds",
+		"sparse expander: zero convergence in every regime, fault-free included — rank conflicts are resolved only by direct meetings, so the paper's protocols require the complete contact graph",
+		"interaction counts (steps) count delivered requests and are comparable between message-network cells only, not with the in-place engines")
+	return fig
+}

@@ -105,9 +105,19 @@ func (nw *Network[S]) N() int { return len(nw.inbox) }
 // Steps returns the number of interactions executed.
 func (nw *Network[S]) Steps() int64 { return nw.steps }
 
+// checkOpen guards every operation that messages the agents: after
+// Close the goroutines are gone and a channel send would deadlock
+// forever, so misuse fails fast with a clear message instead.
+func (nw *Network[S]) checkOpen(op string) {
+	if nw.closed {
+		panic("netsim: " + op + " after Close")
+	}
+}
+
 // Step executes one interaction between a uniformly random ordered
-// pair of agents.
+// pair of agents. It panics if the network is closed.
 func (nw *Network[S]) Step() {
+	nw.checkOpen("Step")
 	a, b := nw.rng.Pair(len(nw.inbox))
 	peer := make(chan S)
 	nw.inbox[a] <- message[S]{kind: msgInitiate, peer: peer}
@@ -115,15 +125,18 @@ func (nw *Network[S]) Step() {
 	nw.steps++
 }
 
-// Run executes k interactions.
+// Run executes k interactions. It panics if the network is closed.
 func (nw *Network[S]) Run(k int64) {
+	nw.checkOpen("Run")
 	for i := int64(0); i < k; i++ {
 		nw.Step()
 	}
 }
 
-// Snapshot collects every agent's current state, in agent order.
+// Snapshot collects every agent's current state, in agent order. It
+// panics if the network is closed.
 func (nw *Network[S]) Snapshot() []S {
+	nw.checkOpen("Snapshot")
 	out := make([]S, len(nw.inbox))
 	report := make(chan S)
 	for i, ch := range nw.inbox {
@@ -135,8 +148,10 @@ func (nw *Network[S]) Snapshot() []S {
 
 // RunUntil executes interactions until stop holds over a snapshot,
 // polling every checkEvery interactions (< 1 defaults to n). It
-// returns ErrBudgetExhausted when maxSteps is reached first.
+// returns ErrBudgetExhausted when maxSteps is reached first. It
+// panics if the network is closed.
 func (nw *Network[S]) RunUntil(stop func([]S) bool, checkEvery, maxSteps int64) (int64, error) {
+	nw.checkOpen("RunUntil")
 	if checkEvery < 1 {
 		checkEvery = int64(len(nw.inbox))
 	}

@@ -95,6 +95,38 @@ func TestCloseIdempotent(t *testing.T) {
 	nw.Close() // must not panic or deadlock
 }
 
+// TestUseAfterClosePanics pins the shutdown contract: once Close has
+// released the agent goroutines, any operation that would message
+// them must panic with a clear diagnosis instead of deadlocking on a
+// channel nobody reads.
+func TestUseAfterClosePanics(t *testing.T) {
+	for _, tc := range []struct {
+		op   string
+		call func(nw *Network[cai.State])
+	}{
+		{"Step", func(nw *Network[cai.State]) { nw.Step() }},
+		{"Run", func(nw *Network[cai.State]) { nw.Run(1) }},
+		{"Snapshot", func(nw *Network[cai.State]) { nw.Snapshot() }},
+		{"RunUntil", func(nw *Network[cai.State]) {
+			nw.RunUntil(func([]cai.State) bool { return true }, 0, 1)
+		}},
+	} {
+		t.Run(tc.op, func(t *testing.T) {
+			p := cai.New(4)
+			nw := New[cai.State](p, p.InitialStates(), 1)
+			nw.Close()
+			defer func() {
+				want := "netsim: " + tc.op + " after Close"
+				if got := recover(); got != want {
+					t.Fatalf("panic = %v, want %q", got, want)
+				}
+			}()
+			tc.call(nw)
+			t.Fatalf("%s after Close did not panic", tc.op)
+		})
+	}
+}
+
 func TestNewPanicsOnTinyPopulation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

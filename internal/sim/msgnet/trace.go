@@ -1,0 +1,118 @@
+package msgnet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Trace is the recorded message history of a run: per round, the
+// scheduled contacts and the IDs delivered, in delivery order. That
+// is every nondeterministic choice the network makes — message IDs
+// are assigned deterministically from the contacts (requests at round
+// start in contact order, replies by delivery slot), so drops (ID
+// never delivered), duplicates (ID delivered twice), delays (ID
+// delivered in a later round) and reorderings (queue position) are
+// all implied by the delivery lists. Replaying a trace over the same
+// protocol and initial configuration reproduces the recorded
+// trajectory exactly.
+type Trace struct {
+	// N is the population size the trace was recorded over.
+	N int
+	// Rounds holds one entry per executed round.
+	Rounds []TraceRound
+}
+
+// TraceRound records one round.
+type TraceRound struct {
+	// Contacts are the round's scheduled (initiator, responder) pairs,
+	// in schedule order.
+	Contacts [][2]int32
+	// Deliveries are the message IDs delivered this round, in
+	// delivery order.
+	Deliveries []int64
+}
+
+const traceMagic = "ssmt1" // ssrank msgnet trace, format version 1
+
+// MarshalBinary encodes the trace in a compact varint format. The
+// encoding is canonical: equal traces encode to equal bytes, which is
+// what the record/replay byte-identity tests compare.
+func (t *Trace) MarshalBinary() ([]byte, error) {
+	buf := append([]byte(nil), traceMagic...)
+	buf = binary.AppendUvarint(buf, uint64(t.N))
+	buf = binary.AppendUvarint(buf, uint64(len(t.Rounds)))
+	for _, rd := range t.Rounds {
+		buf = binary.AppendUvarint(buf, uint64(len(rd.Contacts)))
+		for _, c := range rd.Contacts {
+			buf = binary.AppendUvarint(buf, uint64(c[0]))
+			buf = binary.AppendUvarint(buf, uint64(c[1]))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(rd.Deliveries)))
+		for _, id := range rd.Deliveries {
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a trace encoded by MarshalBinary.
+func (t *Trace) UnmarshalBinary(data []byte) error {
+	if len(data) < len(traceMagic) || string(data[:len(traceMagic)]) != traceMagic {
+		return fmt.Errorf("msgnet: not a trace (missing %q header)", traceMagic)
+	}
+	data = data[len(traceMagic):]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("msgnet: truncated trace")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	n, err := next()
+	if err != nil {
+		return err
+	}
+	rounds, err := next()
+	if err != nil {
+		return err
+	}
+	out := Trace{N: int(n), Rounds: make([]TraceRound, 0, rounds)}
+	for r := uint64(0); r < rounds; r++ {
+		var rd TraceRound
+		nc, err := next()
+		if err != nil {
+			return err
+		}
+		rd.Contacts = make([][2]int32, nc)
+		for i := range rd.Contacts {
+			a, err := next()
+			if err != nil {
+				return err
+			}
+			b, err := next()
+			if err != nil {
+				return err
+			}
+			rd.Contacts[i] = [2]int32{int32(a), int32(b)}
+		}
+		nd, err := next()
+		if err != nil {
+			return err
+		}
+		rd.Deliveries = make([]int64, nd)
+		for i := range rd.Deliveries {
+			id, err := next()
+			if err != nil {
+				return err
+			}
+			rd.Deliveries[i] = int64(id)
+		}
+		out.Rounds = append(out.Rounds, rd)
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("msgnet: %d trailing bytes after trace", len(data))
+	}
+	*t = out
+	return nil
+}

@@ -1,0 +1,265 @@
+package ssrank
+
+import (
+	"fmt"
+
+	"ssrank/internal/faults"
+	"ssrank/internal/proto"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/sim/msgnet"
+)
+
+// Scheduler selects the communication model a run executes under.
+// The zero value is the paper's model: uniformly random ordered pairs
+// applied atomically on the fast in-place engines. Naming any
+// scheduler — even SchedulerUniform — or setting any non-zero Faults
+// routes the run through the round-based message network
+// (internal/sim/msgnet): agents become message machines exchanging
+// request/reply state snapshots, contacts are drawn from the selected
+// topology, and the configured faults perturb the messages in flight.
+//
+// Message-network runs are exactly reproducible — the trajectory is a
+// pure function of (Config) at any ShardWorkers setting — but they
+// follow a different law than the in-place engines (rounds, rendezvous
+// blocking, two-phase interactions), so their interaction counts are
+// comparable between message-network runs, not with the uniform
+// in-place numbers. Stops are polled per round (Result.Exact = false)
+// and Config.Shards is ignored on this path.
+//
+// A caveat that is itself a finding: the paper's ranking protocols
+// resolve rank conflicts by direct meetings, so they converge on the
+// complete contact graph (SchedulerUniform) but generally never on
+// the sparse topologies — two agents holding the same rank on
+// opposite sides of a ring cannot meet to notice. Expect
+// ErrNotConverged there; the fault-regime experiment (cmd/figures
+// E19) measures exactly this.
+type Scheduler string
+
+const (
+	// SchedulerUniform draws each contact as a uniformly random
+	// ordered pair — the paper's scheduler, chopped into rounds when
+	// routed through the message network.
+	SchedulerUniform Scheduler = Scheduler(msgnet.Uniform)
+	// SchedulerRing restricts contacts to the cycle 0–1–…–(n-1)–0.
+	SchedulerRing Scheduler = Scheduler(msgnet.Ring)
+	// SchedulerStar funnels every contact through center agent 0.
+	SchedulerStar Scheduler = Scheduler(msgnet.Star)
+	// SchedulerPingPong deterministically alternates (0,1), (1,0), …;
+	// agents ≥ 2 never communicate — the minimal adversarial schedule.
+	SchedulerPingPong Scheduler = Scheduler(msgnet.PingPong)
+	// SchedulerExpander draws contacts from a fixed seed-derived
+	// near-4-regular expander (union of two random Hamiltonian
+	// cycles).
+	SchedulerExpander Scheduler = Scheduler(msgnet.Expander)
+	// SchedulerPowerLaw draws contacts from a fixed seed-derived
+	// Barabási–Albert preferential-attachment graph (hub-dominated
+	// degrees).
+	SchedulerPowerLaw Scheduler = Scheduler(msgnet.PowerLaw)
+)
+
+// Schedulers lists every available communication topology, in
+// registry order.
+func Schedulers() []Scheduler {
+	names := msgnet.Schedulers()
+	out := make([]Scheduler, len(names))
+	for i, n := range names {
+		out[i] = Scheduler(n)
+	}
+	return out
+}
+
+// Faults configures message-network fault injection. Any non-zero
+// field routes the run through the message network even under
+// SchedulerUniform. Fault fates are drawn per message from a
+// seed-derived stream, so fault outcomes are a pure function of
+// (Config) — see internal/sim/msgnet for the hazard taxonomy (lost,
+// half-applied, replayed, and stale-overwritten interactions).
+type Faults struct {
+	// DropProb is the probability a message is lost in flight.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// DelayMax, when > 0, delays each message by a uniform number of
+	// rounds in [0, DelayMax].
+	DelayMax int
+	// ReorderProb is the probability a round's delivery queue is
+	// shuffled.
+	ReorderProb float64
+}
+
+// toMsgnet converts the public fault knobs to the engine's fault
+// model.
+func (f Faults) toMsgnet() msgnet.Faults {
+	return msgnet.Faults{Drop: f.DropProb, Dup: f.DupProb, DelayMax: f.DelayMax, Reorder: f.ReorderProb}
+}
+
+// messageNetwork reports whether the configuration routes through the
+// message-network engine: any named scheduler (an explicit
+// SchedulerUniform included — it is the fault-free message-network
+// reference) or any fault injection. A zero Scheduler with zero
+// Faults keeps the fast in-place engines.
+func (cfg Config) messageNetwork() bool {
+	return cfg.Scheduler != "" || cfg.Faults != Faults{}
+}
+
+// checkNetwork validates the communication-model knobs (normalize
+// calls it for every entry point).
+func checkNetwork(cfg Config) error {
+	if cfg.Scheduler != "" {
+		ok := false
+		for _, s := range Schedulers() {
+			if cfg.Scheduler == s {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("ssrank: unknown scheduler %q (have %v)", cfg.Scheduler, Schedulers())
+		}
+	}
+	return cfg.Faults.toMsgnet().Validate()
+}
+
+// newMsgNet builds the message network for a vetted Config.
+func newMsgNet[S any, P sim.Protocol[S]](cfg Config, p P, init []S) (*msgnet.Network[S, P], error) {
+	sched, err := msgnet.NewScheduler(string(cfg.Scheduler), cfg.N, 0, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return msgnet.New[S](p, init, msgnet.Config{
+		Sched:   sched,
+		Faults:  cfg.Faults.toMsgnet(),
+		Workers: cfg.ShardWorkers,
+		Seed:    cfg.Seed,
+	}), nil
+}
+
+// runMsgNetDesc is the message-network analogue of runDesc: one
+// generic run path for every registered protocol, driven entirely by
+// the descriptor (stop predicate, projections, instrumentation) with
+// zero per-protocol scheduling code.
+func runMsgNetDesc[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]) (Result, error) {
+	p := d.New(cfg.N)
+	init, err := descInit(cfg, d, p)
+	if err != nil {
+		return Result{}, err
+	}
+	nw, err := newMsgNet[S](cfg, p, init)
+	if err != nil {
+		return Result{}, err
+	}
+	steps, rerr := nw.RunUntil(d.Valid, cfg.MaxInteractions)
+	res := Result{
+		Ranks:        d.Ranks(nw.States()),
+		Interactions: steps,
+		Rounds:       nw.Rounds(),
+		Converged:    rerr == nil,
+		Exact:        false,
+		Leader:       d.LeaderOf(nw.States()),
+	}
+	if d.Resets != nil {
+		res.Resets = d.Resets(p)
+	}
+	if d.ResetBreakdown != nil {
+		res.ResetBreakdown = d.ResetBreakdown(p)
+	}
+	if rerr != nil {
+		return res, fmt.Errorf("ssrank: %s after %d interactions: %w", cfg.Protocol, steps, ErrNotConverged)
+	}
+	return res, nil
+}
+
+// msgSimDriver is the message-network counterpart of simDriver: the
+// generic stepwise driver behind Simulation when the Config routes
+// through the message network. Control is round-granular — Step(k)
+// and the stop checks advance whole communication rounds — so
+// interaction counts overshoot their targets by up to one round.
+type msgSimDriver[S any, P sim.TouchReporter[S]] struct {
+	d  proto.Descriptor[S, P]
+	p  P
+	nw *msgnet.Network[S, P]
+}
+
+func newMsgSimDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]) (simHandle, error) {
+	p := d.New(cfg.N)
+	init, err := descInit(cfg, d, p)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := newMsgNet[S](cfg, p, init)
+	if err != nil {
+		return nil, err
+	}
+	return &msgSimDriver[S, P]{d: d, p: p, nw: nw}, nil
+}
+
+func (s *msgSimDriver[S, P]) n() int { return s.nw.N() }
+
+// step advances rounds until k more interactions were delivered — or
+// k rounds have passed, the backstop for regimes that deliver almost
+// nothing (e.g. DropProb 1).
+func (s *msgSimDriver[S, P]) step(k int64) {
+	target := s.nw.Steps() + k
+	for rounds := int64(0); rounds < k && s.nw.Steps() < target; rounds++ {
+		s.nw.Round()
+	}
+}
+
+func (s *msgSimDriver[S, P]) runUntilStable(maxSteps int64) bool {
+	_, err := s.nw.RunUntil(s.d.Valid, maxSteps)
+	return err == nil
+}
+
+func (s *msgSimDriver[S, P]) observe(every, maxSteps int64, obs func(Snapshot)) {
+	if every < 1 {
+		every = int64(s.nw.N())
+	}
+	obs(s.snapshot())
+	for s.nw.Steps() < maxSteps && s.nw.Rounds() < maxSteps {
+		next := s.nw.Steps() + every
+		for s.nw.Steps() < next && s.nw.Steps() < maxSteps && s.nw.Rounds() < maxSteps {
+			s.nw.Round()
+		}
+		obs(s.snapshot())
+		if s.d.Valid(s.nw.States()) {
+			break
+		}
+	}
+}
+
+func (s *msgSimDriver[S, P]) snapshot() Snapshot {
+	return descSnapshot(s.d, s.p, s.nw.Steps(), s.nw.States())
+}
+
+func (s *msgSimDriver[S, P]) interactions() int64 { return s.nw.Steps() }
+func (s *msgSimDriver[S, P]) stable() bool        { return s.d.Valid(s.nw.States()) }
+func (s *msgSimDriver[S, P]) ranks() []int        { return s.d.Ranks(s.nw.States()) }
+func (s *msgSimDriver[S, P]) rankedCount() int    { return s.d.RankedCount(s.nw.States()) }
+func (s *msgSimDriver[S, P]) leader() int         { return s.d.LeaderOf(s.nw.States()) }
+
+func (s *msgSimDriver[S, P]) resets() int64 {
+	if s.d.Resets == nil {
+		return 0
+	}
+	return s.d.Resets(s.p)
+}
+
+func (s *msgSimDriver[S, P]) resetBreakdown() map[string]int64 {
+	if s.d.ResetBreakdown == nil {
+		return nil
+	}
+	return s.d.ResetBreakdown(s.p)
+}
+
+func (s *msgSimDriver[S, P]) corrupt(k int, r *rng.RNG) error {
+	return descCorrupt(s.d, s.p, s.nw.States(), k, r)
+}
+
+func (s *msgSimDriver[S, P]) swap(k int, r *rng.RNG) {
+	faults.Swap(s.nw.States(), k, r)
+}
+
+func (s *msgSimDriver[S, P]) duplicate(r *rng.RNG) (int, int, error) {
+	return descDuplicate(s.d, s.nw.States(), r)
+}

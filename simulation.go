@@ -33,8 +33,12 @@ type Snapshot struct {
 
 // Simulation is a stepwise handle on any registered protocol: run a
 // while, inspect, corrupt, keep running — the API for fault-injection
-// demos and live exploration. It always runs on the serial engine
-// (stepwise control is incompatible with batch barriers).
+// demos and live exploration. It runs on the serial engine (stepwise
+// control is incompatible with batch barriers) — or on the
+// round-based message network when the Config selects a non-uniform
+// Scheduler or non-zero Faults, in which case stepping is
+// round-granular (interaction counts overshoot targets by up to one
+// round) and RunUntilStable stops are polled, not exact.
 type Simulation struct {
 	desc  *Descriptor
 	h     simHandle
@@ -147,6 +151,30 @@ func (s *Simulation) Corrupt(k int) error {
 	return s.h.corrupt(k, s.fault)
 }
 
+// Swap exchanges the states of k uniformly chosen disjoint agent
+// pairs — a transient fault that preserves the multiset of states
+// (a valid ranking stays a valid ranking, merely re-homed), useful as
+// a control against Corrupt. Every protocol supports it: population
+// protocols are anonymous, so a state exchange keeps the
+// configuration reachable. It errors if 2k exceeds the population.
+func (s *Simulation) Swap(k int) error {
+	if k < 0 || 2*k > s.h.n() {
+		return fmt.Errorf("ssrank: cannot swap %d pairs among %d agents", k, s.h.n())
+	}
+	s.h.swap(k, s.fault)
+	return nil
+}
+
+// Duplicate copies the state of one uniformly chosen agent over
+// another — the canonical transient fault for ranking protocols (it
+// creates a duplicate rank when both agents are ranked) — and returns
+// the (source, target) indices. Like Corrupt it is only offered for
+// self-stabilizing protocols: the others give no recovery guarantee,
+// so a duplicated state can wedge them permanently.
+func (s *Simulation) Duplicate() (src, dst int, err error) {
+	return s.h.duplicate(s.fault)
+}
+
 // simHandle is the type-erased surface of the generic stepwise driver.
 type simHandle interface {
 	n() int
@@ -162,6 +190,47 @@ type simHandle interface {
 	resets() int64
 	resetBreakdown() map[string]int64
 	corrupt(k int, r *rng.RNG) error
+	swap(k int, r *rng.RNG)
+	duplicate(r *rng.RNG) (src, dst int, err error)
+}
+
+// descSnapshot extracts a Snapshot through a protocol's descriptor —
+// the one projection path shared by the serial and message-network
+// stepwise drivers.
+func descSnapshot[S any, P any](d proto.Descriptor[S, P], p P, steps int64, states []S) Snapshot {
+	snap := Snapshot{
+		Interactions: steps,
+		Ranks:        d.Ranks(states),
+		RankedCount:  d.RankedCount(states),
+		Stable:       d.Valid(states),
+		Leader:       d.LeaderOf(states),
+	}
+	if d.Resets != nil {
+		snap.Resets = d.Resets(p)
+	}
+	return snap
+}
+
+// descCorrupt overwrites k uniformly chosen agents with random states
+// via the descriptor's fault-injection primitive, erroring for
+// protocols that register none.
+func descCorrupt[S any, P any](d proto.Descriptor[S, P], p P, states []S, k int, r *rng.RNG) error {
+	if d.RandomState == nil {
+		return fmt.Errorf("ssrank: protocol %q has no fault-injection primitive (it is not self-stabilizing)", d.Name)
+	}
+	faults.Corrupt(states, k, r, func(rr *rng.RNG) S { return d.RandomState(p, rr) })
+	return nil
+}
+
+// descDuplicate copies one uniformly chosen agent's state over
+// another, gated — like Corrupt — on the protocol being
+// self-stabilizing, since only those guarantee recovery.
+func descDuplicate[S any, P any](d proto.Descriptor[S, P], states []S, r *rng.RNG) (int, int, error) {
+	if !d.SelfStabilizing {
+		return 0, 0, fmt.Errorf("ssrank: protocol %q is not self-stabilizing, duplicating a state can wedge it permanently", d.Name)
+	}
+	src, dst := faults.Duplicate(states, r)
+	return src, dst, nil
 }
 
 // simDriver is the one generic stepwise driver behind Simulation,
@@ -191,26 +260,12 @@ func (s *simDriver[S, P]) runUntilStable(maxSteps int64) bool {
 
 func (s *simDriver[S, P]) observe(every, maxSteps int64, obs func(Snapshot)) {
 	s.r.Observe(func(steps int64, states []S) {
-		obs(s.snapshotAt(steps, states))
+		obs(descSnapshot(s.d, s.p, steps, states))
 	}, every, maxSteps, s.d.Valid)
 }
 
 func (s *simDriver[S, P]) snapshot() Snapshot {
-	return s.snapshotAt(s.r.Steps(), s.r.States())
-}
-
-func (s *simDriver[S, P]) snapshotAt(steps int64, states []S) Snapshot {
-	snap := Snapshot{
-		Interactions: steps,
-		Ranks:        s.d.Ranks(states),
-		RankedCount:  s.d.RankedCount(states),
-		Stable:       s.d.Valid(states),
-		Leader:       s.d.LeaderOf(states),
-	}
-	if s.d.Resets != nil {
-		snap.Resets = s.d.Resets(s.p)
-	}
-	return snap
+	return descSnapshot(s.d, s.p, s.r.Steps(), s.r.States())
 }
 
 func (s *simDriver[S, P]) interactions() int64 { return s.r.Steps() }
@@ -234,9 +289,13 @@ func (s *simDriver[S, P]) resetBreakdown() map[string]int64 {
 }
 
 func (s *simDriver[S, P]) corrupt(k int, r *rng.RNG) error {
-	if s.d.RandomState == nil {
-		return fmt.Errorf("ssrank: protocol %q has no fault-injection primitive (it is not self-stabilizing)", s.d.Name)
-	}
-	faults.Corrupt(s.r.States(), k, r, func(rr *rng.RNG) S { return s.d.RandomState(s.p, rr) })
-	return nil
+	return descCorrupt(s.d, s.p, s.r.States(), k, r)
+}
+
+func (s *simDriver[S, P]) swap(k int, r *rng.RNG) {
+	faults.Swap(s.r.States(), k, r)
+}
+
+func (s *simDriver[S, P]) duplicate(r *rng.RNG) (int, int, error) {
+	return descDuplicate(s.d, s.r.States(), r)
 }

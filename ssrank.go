@@ -134,10 +134,23 @@ type Config struct {
 	// trajectory is only defined at batch barriers, so sharded runs
 	// stop on the polled validity scan (Result.Exact = false).
 	Shards int
-	// ShardWorkers bounds the shard worker pool when Shards > 1:
-	// < 1 means one worker per CPU. It trades wall clock for cores
-	// only; the Result is identical at every setting.
+	// ShardWorkers bounds the shard worker pool when Shards > 1 —
+	// and the message network's delivery worker pool when the run
+	// routes through it: < 1 means one worker per CPU. It trades wall
+	// clock for cores only; the Result is identical at every setting.
 	ShardWorkers int
+	// Scheduler selects the communication model. The zero value is
+	// the paper's uniform scheduler on the fast in-place engines; any
+	// named scheduler (an explicit SchedulerUniform included) routes
+	// the run through the round-based message network. See the
+	// Scheduler type for the model and its caveats (Shards is ignored
+	// there, stops are round-polled, Result.Exact is false, sparse
+	// topologies generally never converge).
+	Scheduler Scheduler
+	// Faults injects message-network faults (drop, duplicate, delay,
+	// reorder). Any non-zero field routes the run through the message
+	// network, under Scheduler's topology (uniform by default).
+	Faults Faults
 }
 
 // Result reports a completed run.
@@ -148,8 +161,13 @@ type Result struct {
 	Ranks []int
 	// Interactions is the number of pairwise interactions executed.
 	// When Exact, it is the exact hitting time of the protocol's stop
-	// condition.
+	// condition. On the message network it counts delivered requests —
+	// interactions that actually happened, not messages sent.
 	Interactions int64
+	// Rounds is the number of communication rounds executed —
+	// message-network runs only (0 on the in-place engines, which have
+	// no round structure).
+	Rounds int64
 	// Converged reports whether the protocol's stop condition (a
 	// valid silent ranking; a unique leader for Loose) was reached
 	// within the budget.
@@ -219,6 +237,9 @@ func normalize(cfg Config) (*Descriptor, Config, error) {
 	}
 	if cfg.Epsilon == 0 {
 		cfg.Epsilon = 1.0
+	}
+	if err := checkNetwork(cfg); err != nil {
+		return nil, cfg, err
 	}
 	if cfg.MaxInteractions == 0 {
 		cfg.MaxInteractions = d.DefaultBudget(cfg.N)
