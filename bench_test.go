@@ -163,6 +163,23 @@ func BenchmarkShardedRun(b *testing.B) {
 	r.Run(int64(b.N))
 }
 
+// BenchmarkShardedRunUntilExact1e5 measures the sharded exact-stop
+// path at n = 10⁵: TransitionT touch recording in every batch unit
+// plus the coordinator's barrier fold. b.N interactions from the fresh
+// start stay far short of convergence under the CI benchtime, so the
+// budget ends the run and ns/op is the pure per-interaction cost;
+// comparing against BenchmarkShardedRun gives the tracking overhead
+// directly. CI tracks it against BENCH_base.json.
+func BenchmarkShardedRunUntilExact1e5(b *testing.B) {
+	p := stable.New(bigN, stable.DefaultParams())
+	r := shard.New[stable.State](p, p.InitialStates(), 1, 4, 0)
+	cond := sim.NewRankCond(0, stable.RankOf)
+	b.ResetTimer()
+	if _, err := r.RunUntilExact(cond, int64(b.N)); err == nil {
+		b.Fatal("converged inside the benchmark window; ns/op no longer measures stopping overhead")
+	}
+}
+
 // Exact-stop vs polled stopping overhead: both benchmarks execute b.N
 // StableRanking interactions from the fresh start — far short of
 // convergence at either population size under the CI benchtime, so the

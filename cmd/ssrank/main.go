@@ -33,10 +33,7 @@ import (
 	"strings"
 
 	"ssrank"
-	"ssrank/internal/sim"
 	"ssrank/internal/sim/shard"
-	"ssrank/internal/stable"
-	"ssrank/internal/trace"
 )
 
 func main() {
@@ -70,7 +67,7 @@ func run() int {
 		init      = flag.String("init", "", "initial configuration (default: the protocol's first registered init; see -list)")
 		seed      = flag.Uint64("seed", 1, "scheduler seed (runs are deterministic per seed)")
 		budget    = flag.Int64("budget", 0, "interaction budget (0 = the protocol's registered default)")
-		shards    = flag.String("shards", "0", "run the population on this many shards, or 'auto' to derive the count from -n and the core count (intra-run parallelism; results depend on the resolved shard count, not on the worker pool; sharded runs stop on the polled scan, not exactly)")
+		shards    = flag.String("shards", "0", "run the population on this many shards, or 'auto' to derive the count from -n and the core count (intra-run parallelism; results depend on the resolved shard count, not on the worker pool; sharded runs stop at the exact hitting time, like serial runs)")
 		epsilon   = flag.Float64("epsilon", 1.0, "range slack for the interval protocol")
 		verbose   = flag.Bool("v", false, "print the full rank assignment")
 		list      = flag.Bool("list", false, "print the protocol registry (protocols, inits, default budgets at -n) and exit")
@@ -181,6 +178,9 @@ func run() int {
 	fmt.Printf("protocol=%s n=%d seed=%d\n", *protocol, *n, *seed)
 	fmt.Printf("converged=%t interactions=%d (%.2f n²) exact=%t\n",
 		res.Converged, res.Interactions, norm, res.Exact)
+	if res.Shards > 1 {
+		fmt.Printf("shards=%d (resolved)\n", res.Shards)
+	}
 	if res.Rounds > 0 {
 		fmt.Printf("rounds=%d (message network)\n", res.Rounds)
 	}
@@ -263,53 +263,40 @@ func runReplicated(cfg ssrank.Config, trials, workers int, precision float64, pr
 	return 0
 }
 
-// runTraced executes StableRanking with a trace recorder attached and
-// writes the time series (ranked count, mean phase, resets) as CSV —
-// the raw material of Fig. 2-style plots for any initialization. The
-// mean-phase probe reads protocol internals, so this path drives the
-// internal engine directly rather than the facade.
+// runTraced streams a StableRanking run through the public stepwise
+// API and writes the time series (ranked count, mean phase, resets) as
+// CSV — the raw material of Fig. 2-style plots for any registered
+// init. The mean-phase probe arrives through the descriptor's named
+// probes (Snapshot.Probes), so the path needs no protocol internals.
+// Sampling is touch-aware and the stop exact: windows in which no
+// tracked projection moved produce no row, and the series ends at the
+// hitting time rather than the next poll.
 func runTraced(n int, initName string, seed uint64, budget int64, path string) int {
-	if initName == "" {
-		initName = string(ssrank.InitFresh)
-	}
-	p := stable.New(n, stable.DefaultParams())
-	var init []stable.State
-	switch ssrank.Init(initName) {
-	case ssrank.InitFresh:
-		init = p.InitialStates()
-	case ssrank.InitWorstCase:
-		init = p.WorstCaseInit()
-	case ssrank.InitFig3:
-		init = p.Fig3Init()
-	default:
-		fmt.Fprintf(os.Stderr, "ssrank: -trace supports inits fresh, worst-case, fig3 (got %q)\n", initName)
+	s, err := ssrank.NewSimulation(ssrank.Config{
+		N:        n,
+		Protocol: ssrank.StableRanking,
+		Init:     ssrank.Init(initName),
+		Seed:     seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssrank:", err)
 		return 2
 	}
-	if budget == 0 {
-		budget = int64(3000 * float64(n) * float64(n))
-	}
 
-	rec := trace.NewRecorder[stable.State](
-		trace.Probe[stable.State]{Name: "ranked", Fn: func(ss []stable.State) float64 {
-			return float64(stable.RankedCount(ss))
-		}},
-		trace.Probe[stable.State]{Name: "mean_phase", Fn: func(ss []stable.State) float64 {
-			return stable.MeanPhase(ss)
-		}},
-		trace.Probe[stable.State]{Name: "resets", Fn: func([]stable.State) float64 {
-			return float64(p.Resets())
-		}},
-	)
-	r := sim.New[stable.State](p, init, seed)
-	r.Observe(rec.Observe, int64(n)*int64(n)/8, budget, func(ss []stable.State) bool {
-		return stable.Valid(ss)
+	var b strings.Builder
+	b.WriteString("interactions,ranked,mean_phase,resets\n")
+	samples := 0
+	s.Observe(int64(n)*int64(n)/8, budget, func(snap ssrank.Snapshot) {
+		fmt.Fprintf(&b, "%d,%g,%g,%g\n",
+			snap.Interactions, float64(snap.RankedCount), snap.Probes["mean_phase"], float64(snap.Resets))
+		samples++
 	})
 
-	if err := os.WriteFile(path, []byte(rec.CSV()), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "ssrank:", err)
 		return 2
 	}
 	fmt.Printf("traced %d samples over %d interactions -> %s (converged=%t, resets=%d)\n",
-		rec.Len(), r.Steps(), path, stable.Valid(r.States()), p.Resets())
+		samples, s.Interactions(), path, s.Stable(), s.Resets())
 	return 0
 }

@@ -173,11 +173,14 @@ func descInit[S any, P any](cfg Config, d proto.Descriptor[S, P], p P) ([]S, err
 }
 
 // runDesc is the single engine-selection path behind Run: the sharded
-// runner with the polled validity scan when the config resolves to
-// more than one shard (a sharded trajectory is only defined at batch
-// barriers), else the serial runner stopping at the exact hitting
-// time via the descriptor's incremental tracker and the protocol's
-// touch reporting (sim.RunUntilCondT).
+// runner when the config resolves to more than one shard, else the
+// serial runner. Both stop at the exact hitting time via the
+// descriptor's incremental tracker and the protocol's touch reporting
+// (sim.RunUntilCondT serially; the barrier fold of
+// shard.Runner.RunUntilExact sharded), so Result.Exact is true on
+// every converged in-place run — transient stop conditions (Loose)
+// included, since the tracker catches mid-batch satisfying windows a
+// polled scan would miss.
 func runDesc[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]) (Result, error) {
 	p := d.New(cfg.N)
 	init, ierr := descInit(cfg, d, p)
@@ -185,30 +188,26 @@ func runDesc[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]
 		return Result{}, ierr
 	}
 	var (
-		states []S
-		steps  int64
-		err    error
-		exact  bool
+		states    []S
+		steps     int64
+		err       error
+		resShards = 1
 	)
-	// A transient stop condition (Loose) is only measurable by the
-	// exact tracker: the sharded engine's polled scan can sail through
-	// a short satisfying window entirely, so such protocols always run
-	// serially regardless of cfg.Shards.
-	if shards := resolveShards(cfg); shards > 1 && !d.TransientStop {
+	if shards := resolveShards(cfg); shards > 1 {
 		r := shard.New[S](p, init, cfg.Seed, shards, cfg.ShardWorkers)
-		_, err = r.RunUntil(d.Valid, 0, cfg.MaxInteractions)
-		states, steps = r.States(), r.Steps()
+		steps, err = r.RunUntilExact(sim.DescCond(d, p), cfg.MaxInteractions)
+		states, resShards = r.States(), r.Shards()
 	} else {
 		r := sim.New[S](p, init, cfg.Seed)
 		steps, err = sim.RunUntilCondT(r, sim.DescCond(d, p), cfg.MaxInteractions)
 		states = r.States()
-		exact = err == nil
 	}
 	res := Result{
 		Ranks:        d.Ranks(states),
 		Interactions: steps,
 		Converged:    err == nil,
-		Exact:        exact,
+		Exact:        err == nil,
+		Shards:       resShards,
 		Leader:       d.LeaderOf(states),
 	}
 	if d.Resets != nil {

@@ -1,8 +1,10 @@
 // Convergence renders a live terminal version of the paper's Fig. 2:
 // start the self-stabilizing protocol from the worst-case
-// initialization, sample cadenced snapshots of the ranked-agent count
-// and the cumulative reset count through the public Observe API, and
-// draw both as an ASCII chart once the population stabilizes.
+// initialization, sample cadenced snapshots of the ranked-agent count,
+// the mean phase-clock value (the protocol's named "mean_phase" probe,
+// surfaced through Snapshot.Probes), and the cumulative reset count
+// through the public Observe API, and draw them as an ASCII chart once
+// the population stabilizes.
 //
 //	go run ./examples/convergence
 package main
@@ -26,19 +28,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var x, ranked, resets []float64
+	var x, ranked, phase, resets []float64
 	stable := sim.Observe(int64(n)*int64(n)/4, int64(500)*int64(n)*int64(n),
 		func(s ssrank.Snapshot) {
 			x = append(x, float64(s.Interactions)/float64(n)/float64(n))
 			ranked = append(ranked, float64(s.RankedCount))
+			phase = append(phase, s.Probes["mean_phase"])
 			resets = append(resets, float64(s.Resets))
 		})
 	if !stable {
 		log.Fatal("did not stabilize within the plotting budget")
 	}
 
-	// Scale the cumulative resets onto the ranked axis, like the
-	// paper's twin y-axis.
+	// Scale the cumulative resets and the mean phase onto the ranked
+	// axis, like the paper's twin y-axis.
 	maxResets := resets[len(resets)-1]
 	scaled := make([]float64, len(resets))
 	if maxResets > 0 {
@@ -46,11 +49,24 @@ func main() {
 			scaled[i] = r / maxResets * n
 		}
 	}
+	maxPhase := 0.0
+	for _, p := range phase {
+		if p > maxPhase {
+			maxPhase = p
+		}
+	}
+	phaseScaled := make([]float64, len(phase))
+	if maxPhase > 0 {
+		for i, p := range phase {
+			phaseScaled[i] = p / maxPhase * n
+		}
+	}
 
 	fmt.Print(plot.Lines(
 		fmt.Sprintf("worst-case recovery, n=%d (x: interactions/n²)", n),
 		76, 20,
 		plot.Series{Name: "ranked agents", X: x, Y: ranked},
+		plot.Series{Name: fmt.Sprintf("mean phase (×%d/%.1f)", n, maxPhase), X: x, Y: phaseScaled},
 		plot.Series{Name: fmt.Sprintf("resets (×%d/%d)", n, int(maxResets)), X: x, Y: scaled},
 	))
 	fmt.Printf("\nstabilized after %.1f n² interactions, %d resets %v\n",

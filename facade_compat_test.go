@@ -8,15 +8,22 @@ package ssrank
 // every protocol × init × engine combination the old facade
 // supported.
 //
-// The one sanctioned difference is the stopping discipline on the
-// serial engine: the old facade polled validity every n interactions,
+// The sanctioned difference on the serial engine is the stopping
+// discipline: the old facade polled validity every n interactions,
 // the redesign stops at the exact hitting time via the descriptor's
 // incremental tracker. For silent stop conditions the configuration
 // cannot change after the hitting time, so ranks, leader and resets
 // must still be byte-identical, and the two step counts must agree up
-// to poll rounding: exact ≤ polled < exact + cadence. On the sharded
-// engine the redesign keeps the polled scan, so there everything —
-// including Interactions — must be byte-identical.
+// to poll rounding: exact ≤ polled < exact + cadence.
+//
+// Sharded runs are no longer comparable against the old facade at
+// all: the old sharded path polled at cadence n, which chopped the
+// run into cadence-sized partial batches, while RunUntilExact runs
+// the engine's native full batches — a different (equally lawful)
+// barrier placement, hence a different trajectory. Sharded combos are
+// therefore checked structurally instead: exact convergence, a valid
+// rank assignment, a consistent leader, the resolved shard count, and
+// byte-identical repeatability.
 
 import (
 	"fmt"
@@ -29,22 +36,12 @@ import (
 	"ssrank/internal/core"
 	"ssrank/internal/rng"
 	"ssrank/internal/sim"
-	"ssrank/internal/sim/shard"
 	"ssrank/internal/stable"
 )
 
-// oldRunRanking is the pre-redesign shared engine path: polled
-// validity on the serial or sharded runner.
+// oldRunRanking is the pre-redesign serial engine path: polled
+// validity on the serial runner.
 func oldRunRanking[S any, P sim.Protocol[S]](cfg Config, p P, init []S, valid func([]S) bool) ([]S, int64, error) {
-	shards := cfg.Shards
-	if shards == AutoShards {
-		shards = shard.AutoShards(cfg.N, 0)
-	}
-	if shards > 1 {
-		r := shard.New[S](p, init, cfg.Seed, shards, cfg.ShardWorkers)
-		_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
-		return r.States(), r.Steps(), err
-	}
 	r := sim.New[S](p, init, cfg.Seed)
 	_, err := r.RunUntil(valid, 0, cfg.MaxInteractions)
 	return r.States(), r.Steps(), err
@@ -188,55 +185,98 @@ func TestFacadeCompat(t *testing.T) {
 	}
 	const n = 48
 	for _, c := range combos {
-		for _, shards := range []int{0, 4} {
-			for _, seed := range []uint64{1, 5} {
-				c, shards, seed := c, shards, seed
-				t.Run(fmt.Sprintf("%s/%s/shards=%d/seed=%d", c.p, c.init, shards, seed), func(t *testing.T) {
-					cfg := Config{N: n, Protocol: c.p, Init: c.init, Seed: seed, Shards: shards}
-					oldRes, oldErr := oldFacadeRun(cfg)
-					newRes, newErr := Run(cfg)
-					if (oldErr == nil) != (newErr == nil) {
-						t.Fatalf("convergence disagrees: old err %v, new err %v", oldErr, newErr)
+		for _, seed := range []uint64{1, 5} {
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("%s/%s/serial/seed=%d", c.p, c.init, seed), func(t *testing.T) {
+				cfg := Config{N: n, Protocol: c.p, Init: c.init, Seed: seed}
+				oldRes, oldErr := oldFacadeRun(cfg)
+				newRes, newErr := Run(cfg)
+				if (oldErr == nil) != (newErr == nil) {
+					t.Fatalf("convergence disagrees: old err %v, new err %v", oldErr, newErr)
+				}
+				if oldErr != nil {
+					if c.p == SpaceEfficient {
+						t.Skip("w.h.p. protocol lost the leader lottery at this seed under both facades")
 					}
-					if oldErr != nil {
-						if c.p == SpaceEfficient {
-							t.Skip("w.h.p. protocol lost the leader lottery at this seed under both facades")
-						}
-						t.Fatalf("combination no longer converges: %v", oldErr)
+					t.Fatalf("combination no longer converges: %v", oldErr)
+				}
+				if !reflect.DeepEqual(newRes.Ranks, oldRes.Ranks) {
+					t.Fatalf("ranks differ:\nold %v\nnew %v", oldRes.Ranks, newRes.Ranks)
+				}
+				if newRes.Leader != oldRes.Leader {
+					t.Fatalf("leader differs: old %d, new %d", oldRes.Leader, newRes.Leader)
+				}
+				if newRes.Resets != oldRes.Resets || !reflect.DeepEqual(newRes.ResetBreakdown, oldRes.ResetBreakdown) {
+					t.Fatalf("resets differ: old %d %v, new %d %v",
+						oldRes.Resets, oldRes.ResetBreakdown, newRes.Resets, newRes.ResetBreakdown)
+				}
+				// The redesign stops at the exact hitting time, the old
+				// facade at the next poll (cadence n).
+				if !newRes.Exact {
+					t.Fatal("serial run did not report an exact hitting time")
+				}
+				if newRes.Shards != 1 {
+					t.Fatalf("serial run resolved Shards=%d, want 1", newRes.Shards)
+				}
+				if newRes.Interactions > oldRes.Interactions {
+					t.Fatalf("exact stop %d after polled stop %d", newRes.Interactions, oldRes.Interactions)
+				}
+				if oldRes.Interactions-newRes.Interactions >= n {
+					t.Fatalf("polled stop %d more than one cadence past exact stop %d", oldRes.Interactions, newRes.Interactions)
+				}
+			})
+			t.Run(fmt.Sprintf("%s/%s/shards=4/seed=%d", c.p, c.init, seed), func(t *testing.T) {
+				cfg := Config{N: n, Protocol: c.p, Init: c.init, Seed: seed, Shards: 4}
+				res, err := Run(cfg)
+				if err != nil {
+					if c.p == SpaceEfficient {
+						t.Skip("w.h.p. protocol lost the leader lottery at this seed")
 					}
-					if !reflect.DeepEqual(newRes.Ranks, oldRes.Ranks) {
-						t.Fatalf("ranks differ:\nold %v\nnew %v", oldRes.Ranks, newRes.Ranks)
-					}
-					if newRes.Leader != oldRes.Leader {
-						t.Fatalf("leader differs: old %d, new %d", oldRes.Leader, newRes.Leader)
-					}
-					if newRes.Resets != oldRes.Resets || !reflect.DeepEqual(newRes.ResetBreakdown, oldRes.ResetBreakdown) {
-						t.Fatalf("resets differ: old %d %v, new %d %v",
-							oldRes.Resets, oldRes.ResetBreakdown, newRes.Resets, newRes.ResetBreakdown)
-					}
-					if shards > 1 {
-						// Same polled engine path: everything must match.
-						if newRes.Interactions != oldRes.Interactions {
-							t.Fatalf("sharded interactions differ: old %d, new %d", oldRes.Interactions, newRes.Interactions)
-						}
-						if newRes.Exact {
-							t.Fatal("sharded run claims an exact hitting time")
-						}
-						return
-					}
-					// Serial: the redesign stops at the exact hitting
-					// time, the old facade at the next poll (cadence n).
-					if !newRes.Exact {
-						t.Fatal("serial run did not report an exact hitting time")
-					}
-					if newRes.Interactions > oldRes.Interactions {
-						t.Fatalf("exact stop %d after polled stop %d", newRes.Interactions, oldRes.Interactions)
-					}
-					if oldRes.Interactions-newRes.Interactions >= n {
-						t.Fatalf("polled stop %d more than one cadence past exact stop %d", oldRes.Interactions, newRes.Interactions)
-					}
-				})
-			}
+					t.Fatalf("sharded run did not converge: %v", err)
+				}
+				if !res.Converged || !res.Exact {
+					t.Fatalf("sharded run: Converged=%t Exact=%t, want both true", res.Converged, res.Exact)
+				}
+				if res.Shards != 4 {
+					t.Fatalf("resolved shard count %d, want 4", res.Shards)
+				}
+				checkConvergedRanks(t, c.p, res)
+				again, err := Run(cfg)
+				if err != nil || !reflect.DeepEqual(again, res) {
+					t.Fatalf("sharded rerun is not byte-identical (err %v):\nfirst  %+v\nsecond %+v", err, res, again)
+				}
+			})
 		}
+	}
+}
+
+// checkConvergedRanks asserts the structural contract of a converged
+// ranking Result: distinct positive ranks within the protocol's rank
+// space ([1, n] normally; for Interval the identifier space is
+// (1+ε)n rounded up to a power of two) and Leader pointing at the
+// rank-1 agent (or -1 when the relaxed range left rank 1 unused).
+func checkConvergedRanks(t *testing.T, p Protocol, res Result) {
+	t.Helper()
+	space := len(res.Ranks)
+	if p == Interval {
+		for space = 1; space < 2*len(res.Ranks); space *= 2 {
+		}
+	}
+	seen := make(map[int]bool, len(res.Ranks))
+	for i, rk := range res.Ranks {
+		if rk < 1 || rk > space || seen[rk] {
+			t.Fatalf("agent %d holds invalid or duplicate rank %d (space [1, %d])", i, rk, space)
+		}
+		seen[rk] = true
+	}
+	wantLeader := -1
+	for i, rk := range res.Ranks {
+		if rk == 1 {
+			wantLeader = i
+			break
+		}
+	}
+	if res.Leader != wantLeader {
+		t.Fatalf("leader %d inconsistent with ranks (want %d)", res.Leader, wantLeader)
 	}
 }

@@ -40,6 +40,18 @@ func (Protocol) Transition(u, v *State) {
 	}
 }
 
+// TransitionT applies Transition and reports which agent's infection
+// bit — the projection the epidemic's stop condition watches — changed.
+// Only a previously uninfected responder can change, exactly when the
+// infection crosses.
+func (Protocol) TransitionT(u, v *State) (uTouched, vTouched bool) {
+	if u.Member && v.Member && u.Infected && !v.Infected {
+		v.Infected = true
+		return false, true
+	}
+	return false, false
+}
+
 // InitialStates returns a population of n agents of which the first m
 // are members and exactly one member (index 0) is infected. It panics
 // if the parameters are out of range.

@@ -247,14 +247,13 @@ func (o Options) shardsFor(n int) int {
 type runner[S any] interface {
 	Run(k int64)
 	RunUntil(stop func(states []S) bool, checkEvery, maxSteps int64) (int64, error)
-	// RunUntilExact stops a stabilization run at the hitting time of
-	// the stop condition: on the serial engine exactly, via the
-	// incremental tracker and the protocol's touch reporting
-	// (sim.RunUntilCondT); on the sharded engine via the polled scan,
-	// quantized to the poll cadence — a sharded trajectory is only
-	// defined at batch barriers, so mid-batch stops are not meaningful
-	// there (DESIGN.md §3).
-	RunUntilExact(cond sim.Condition[S], stop func(states []S) bool, maxSteps int64) (int64, error)
+	// RunUntilExact stops a stabilization run at the exact hitting
+	// time of the stop condition, via the incremental tracker and the
+	// protocol's touch reporting: sim.RunUntilCondT on the serial
+	// engine, the barrier fold of shard.Runner.RunUntilExact on the
+	// sharded engine. Both handle transient conditions (loose LE's
+	// uniqueness window) that a polled scan could sail through.
+	RunUntilExact(cond sim.Condition[S], maxSteps int64) (int64, error)
 	Observe(obs func(steps int64, states []S), every, maxSteps int64, stop func(states []S) bool) int64
 	States() []S
 	Steps() int64
@@ -264,17 +263,15 @@ type runner[S any] interface {
 // RunUntilExact through the touch-aware exact-stop path.
 type exactSerial[S any, P sim.TouchReporter[S]] struct{ *sim.Runner[S, P] }
 
-func (r exactSerial[S, P]) RunUntilExact(cond sim.Condition[S], _ func(states []S) bool, maxSteps int64) (int64, error) {
+func (r exactSerial[S, P]) RunUntilExact(cond sim.Condition[S], maxSteps int64) (int64, error) {
 	return sim.RunUntilCondT(r.Runner, cond, maxSteps)
 }
 
-// polledShard adapts shard.Runner, keeping the polled scan for exact
-// requests (see runner.RunUntilExact).
-type polledShard[S any, P sim.Protocol[S]] struct{ *shard.Runner[S, P] }
-
-func (r polledShard[S, P]) RunUntilExact(_ sim.Condition[S], stop func(states []S) bool, maxSteps int64) (int64, error) {
-	return r.RunUntil(stop, 0, maxSteps)
-}
+// exactShard adapts shard.Runner; its own RunUntilExact already has
+// the runner signature, so the adapter only exists for symmetry and
+// doc purposes (the sharded engine folds per-shard touch records into
+// the tracker at each batch barrier — see internal/sim/shard/exact.go).
+type exactShard[S any, P sim.TouchReporter[S]] struct{ *shard.Runner[S, P] }
 
 // newRunner returns the engine one trial runs on: the sharded runner
 // when the options resolve to more than one shard for this population,
@@ -287,7 +284,7 @@ func (r polledShard[S, P]) RunUntilExact(_ sim.Condition[S], stop func(states []
 // workers, so figures stay byte-identical either way.
 func newRunner[S any, P sim.TouchReporter[S]](o Options, workers int, p P, states []S, seed uint64) runner[S] {
 	if s := o.shardsFor(len(states)); s > 1 {
-		return polledShard[S, P]{shard.New[S](p, states, seed, s, workers)}
+		return exactShard[S, P]{shard.New[S](p, states, seed, s, workers)}
 	}
 	return exactSerial[S, P]{sim.New[S](p, states, seed)}
 }
@@ -304,26 +301,19 @@ func descRunner[S any, P sim.TouchReporter[S]](o Options, workers int, d proto.D
 	if states == nil {
 		panic(fmt.Sprintf("expt: protocol %q does not register init %q", d.Name, init))
 	}
-	if d.TransientStop {
-		// A transient stop condition (loose LE's uniqueness) is only
-		// measurable by the exact tracker; the sharded engine's polled
-		// scan can miss the window, so such trials stay serial
-		// regardless of Options.Shards.
-		return p, exactSerial[S, P]{sim.New[S](p, states, seed)}
-	}
 	return p, newRunner[S](o, workers, p, states, seed)
 }
 
 // descStabilize runs one descriptor trial to its stop condition —
-// exactly on the serial engine, polled at batch granularity on shards
-// (see runner.RunUntilExact) — returning the stop step, convergence,
+// at the exact hitting time on either engine (see
+// runner.RunUntilExact) — returning the stop step, convergence,
 // and the protocol's reset count (0 without reset instrumentation).
 // It is the whole per-trial body of the stabilization sweeps; the
 // descriptor supplies constructor, init, tracker and validity that
 // each generator previously tabulated for itself.
 func descStabilize[S any, P sim.TouchReporter[S]](o Options, d proto.Descriptor[S, P], n int, init string, salt, seed uint64, cap int64) (int64, bool, int64) {
 	p, r := descRunner(o, 1, d, n, init, salt, seed)
-	steps, err := r.RunUntilExact(sim.DescCond(d, p), d.Valid, cap)
+	steps, err := r.RunUntilExact(sim.DescCond(d, p), cap)
 	var resets int64
 	if d.Resets != nil {
 		resets = d.Resets(p)

@@ -61,15 +61,15 @@ func LooseVsSilent(opts Options) Figure {
 				// Exact stopping matters doubly here: uniqueness is
 				// transient for loose LE, so a polled scan can sail
 				// through a short uniqueness window entirely.
-				steps, err := r.RunUntilExact(sim.DescCond(d, p), d.Valid, int64(1000*float64(n)*lg))
+				steps, err := r.RunUntilExact(sim.DescCond(d, p), int64(1000*float64(n)*lg))
 				if err != nil {
 					return looseR{}
 				}
 				out := looseR{stepsResult{float64(steps), true}, true}
 				// Holding probe: does the unique leader survive the budget?
-				// The engine may sit up to one sub-batch past the hitting
-				// time (the RunUntilCondT contract — uniqueness is not a
-				// silent condition), so check the probe's start state
+				// The engine may sit up to one sub-batch (serial) or one
+				// batch (sharded) past the hitting time — uniqueness is
+				// not a silent condition — so check the probe's start state
 				// first: if uniqueness already broke in that window, the
 				// hold failed immediately.
 				if !sudo.UniqueLeader(r.States()) {

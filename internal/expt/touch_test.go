@@ -9,8 +9,10 @@ import (
 	"ssrank/internal/baseline/interval"
 	"ssrank/internal/baseline/sudo"
 	"ssrank/internal/core"
+	"ssrank/internal/proto"
 	"ssrank/internal/rng"
 	"ssrank/internal/sim"
+	"ssrank/internal/sim/shard"
 	"ssrank/internal/stable"
 )
 
@@ -173,4 +175,107 @@ func TestTouchReportingMatchesRescan(t *testing.T) {
 			})
 		}
 	})
+}
+
+// rescanCond wraps an incremental tracker and cross-checks it against
+// a brute-force full rescan of the states slice it is fed, at every
+// Done() call. Both engines consult Done() exactly once per
+// interaction — after all of the interaction's Updates — so the check
+// runs at interaction boundaries, where tracker and configuration must
+// agree (between the two Updates of a both-touched interaction they
+// legitimately differ). Inside the sharded barrier fold the slice fed
+// to Update is the shadow configuration, which is projection-faithful
+// at every canonical prefix — so the rescan is exactly the predicate
+// the tracker claims to maintain incrementally. (The same wrapper
+// would be UNSOUND on the serial engine: there Update reads the live
+// array, which at fold time is already past the current sub-batch.)
+type rescanCond[S any] struct {
+	t      *testing.T
+	inner  sim.Condition[S]
+	valid  func([]S) bool
+	states []S
+	calls  int
+}
+
+func (c *rescanCond[S]) Init(states []S) {
+	c.inner.Init(states)
+	c.states = states
+}
+
+func (c *rescanCond[S]) Update(i int, states []S) {
+	c.calls++
+	c.inner.Update(i, states)
+	c.states = states
+}
+
+func (c *rescanCond[S]) Done() bool {
+	got := c.inner.Done()
+	if want := c.valid(c.states); got != want {
+		c.t.Fatalf("after update %d: tracker Done() = %v, full rescan of the shadow = %v", c.calls, got, want)
+	}
+	return got
+}
+
+// TestShardedFoldMatchesRescan drives the sharded barrier fold with a
+// rescanning tracker at several shard counts (including an odd one,
+// which exercises the tournament's bye rounds): every per-shard
+// tracker delta folded at a barrier must leave the incremental state
+// equal to a full rescan of the shadow configuration. Stable checks
+// the silent path, interval the whole-state projection, and sudo the
+// transient path (uniqueness can break again within the same batch).
+func TestShardedFoldMatchesRescan(t *testing.T) {
+	const n = 64
+	for _, S := range []int{2, 4, 7} {
+		S := S
+		t.Run(fmt.Sprintf("S=%d", S), func(t *testing.T) {
+			t.Run("stable", func(t *testing.T) {
+				p := stable.New(n, stable.DefaultParams())
+				d := stable.Describe()
+				cond := &rescanCond[stable.State]{t: t, inner: sim.DescCond(d, p), valid: stable.Valid}
+				r := shard.New[stable.State](p, p.WorstCaseInit(), 9, S, 2)
+				hit, err := r.RunUntilExact(cond, d.Budget(n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cond.calls == 0 {
+					t.Fatal("tracker never updated; the run recorded no touches")
+				}
+				if hit < 1 || !stable.Valid(r.States()) {
+					t.Fatalf("silent run stopped at %d without a valid final ranking", hit)
+				}
+			})
+			t.Run("interval", func(t *testing.T) {
+				p := interval.New(n, 1)
+				cond := &rescanCond[interval.State]{t: t, inner: interval.NewDisjointCond(p.M()), valid: interval.Valid}
+				r := shard.New[interval.State](p, p.InitialStates(), 9, S, 2)
+				hit, err := r.RunUntilExact(cond, proto.BudgetN2LogN(3000)(n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cond.calls == 0 {
+					t.Fatal("tracker never updated; the run recorded no touches")
+				}
+				if hit < 1 || !interval.Valid(r.States()) {
+					t.Fatalf("silent run stopped at %d without disjoint intervals", hit)
+				}
+			})
+			t.Run("sudo", func(t *testing.T) {
+				p := sudo.New(n, 2)
+				cond := &rescanCond[sudo.State]{t: t, inner: sudo.NewLeaderCond(), valid: sudo.UniqueLeader}
+				r := shard.New[sudo.State](p, p.AllLeaders(), 9, S, 2)
+				// Transient condition: the final configuration may postdate
+				// the hitting time, so only the hit itself is asserted.
+				hit, err := r.RunUntilExact(cond, proto.BudgetN2(5000)(n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cond.calls == 0 {
+					t.Fatal("tracker never updated; the run recorded no touches")
+				}
+				if hit < 1 {
+					t.Fatalf("everyone-a-leader init reported hit %d", hit)
+				}
+			})
+		})
+	}
 }

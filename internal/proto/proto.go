@@ -111,10 +111,26 @@ type Descriptor[S any, P any] struct {
 	// protocols whose analysis does not survive corruption.
 	RandomState func(p P, r *rng.RNG) S
 
+	// Probes lists named scalar projections over full configurations —
+	// protocol-specific observables (StableRanking's mean phase
+	// counter) that observation layers sample alongside the generic
+	// rank projections. Names must be unique within a descriptor.
+	Probes []Probe[S, P]
+
 	// Budget returns the default interaction budget for n agents:
 	// several times the expected stabilization time, computed in
 	// float64 and clamped (ClampBudget) so large n cannot overflow.
 	Budget func(n int) int64
+}
+
+// Probe is one named scalar projection over full configurations (see
+// Descriptor.Probes). Fn must not mutate the configuration; it may
+// read protocol parameters through p.
+type Probe[S any, P any] struct {
+	// Name labels the probe (a snapshot map key, a CSV column).
+	Name string
+	// Fn computes the scalar.
+	Fn func(p P, states []S) float64
 }
 
 // Supports reports whether the named init is in the descriptor's init

@@ -1,0 +1,168 @@
+package shard
+
+import "ssrank/internal/sim"
+
+// This file implements exact stopping for the sharded engine: the
+// touch-reporting machinery of the serial engine (sim.RunUntilCondT)
+// extended across batch barriers.
+//
+// While tracking is enabled, every unit of a batch — each shard's
+// intra pairs, each cross class — applies its interactions through the
+// protocol's TransitionT and records the touched ones (the ones that
+// moved a condition-relevant projection) into a private per-unit
+// slice, together with the interaction's canonical batch position and
+// both agents' post-interaction states. At the batch barrier the
+// coordinator folds those records, merged in canonical order, into the
+// descriptor's incremental stop tracker, identifying the exact
+// first interaction of the batch after which the condition held.
+//
+// The fold replays against a persistent shadow configuration rather
+// than the live states: a recorded state is written into the shadow
+// before the tracker's Update reads it. The shadow is
+// projection-faithful at every prefix of the canonical order — an
+// agent's projection only changes at its touches, all of which are
+// recorded, so between touches the shadow holds exactly the
+// projection the live trajectory held at that point. The live array
+// cannot serve here: by barrier time it already holds end-of-batch
+// states, and conflicting touches of one agent within a batch would
+// make mid-batch tracker reads see the future. Condition trackers read
+// only the updated agent's state (the Condition contract), so a
+// shadow whose *other* components lag is indistinguishable from the
+// live mid-batch configuration.
+//
+// Soundness of the canonical order itself is DESIGN.md §3: a batch of
+// uniformly sampled pairs may be applied in the canonical order (intra
+// shards in shard order, then cross classes in tournament-round order)
+// without changing the law of the process, and the sharded trajectory
+// is *defined* as that canonical sequence. The hitting time reported
+// here is the exact hitting time of that trajectory — batch-granular
+// detection, within-batch exact replay — and, like every sharded
+// quantity, a pure function of (seed, shard count) at any worker
+// count: records are written by the unit that owns them, offsets are
+// assigned before dispatch, and the fold runs on the coordinator after
+// the barrier.
+
+// touchRec is one touched interaction of the current batch: its
+// canonical position, which agents to fold (mask bit 1 = initiator,
+// bit 2 = responder), and both agents' states just after the
+// interaction — the values the shadow replay rewinds to.
+type touchRec[S any] struct {
+	pos    int32
+	mask   uint8
+	a, b   int32
+	sa, sb S
+}
+
+// newTouchRec packs one touched interaction.
+func newTouchRec[S any](pos int32, ut, vt bool, a, b int32, sa, sb S) touchRec[S] {
+	var m uint8
+	if ut {
+		m = 1
+	}
+	if vt {
+		m |= 2
+	}
+	return touchRec[S]{pos: pos, mask: m, a: a, b: b, sa: sa, sb: sb}
+}
+
+// enableTracking switches the batch appliers to recording mode and
+// synchronizes the shadow with the live configuration. Scratch is
+// allocated once per Runner and reused by later exact runs.
+func (r *Runner[S, P]) enableTracking() {
+	if r.shadow == nil {
+		n := len(r.shards)
+		r.intraOff = make([]int32, n)
+		r.crossOff = make([]int32, n*n)
+		r.intraRecs = make([][]touchRec[S], n)
+		r.crossRecs = make([][]touchRec[S], n*n)
+		r.shadow = make([]S, len(r.states))
+	}
+	copy(r.shadow, r.states)
+	r.tracking = true
+}
+
+// fold replays the batch's touched interactions, merged in canonical
+// order, into the condition tracker via the shadow configuration. It
+// returns the batch-relative position of the first interaction after
+// which the condition held, or -1 — and always clears every record
+// slice, including units that had no work this batch (their records
+// would otherwise leak into the next fold).
+func (r *Runner[S, P]) fold(cond sim.Condition[S]) int64 {
+	hit := int64(-1)
+	apply := func(recs []touchRec[S]) {
+		if hit >= 0 {
+			return
+		}
+		for _, t := range recs {
+			// Rewind both agents to their at-touch states before the
+			// tracker reads them; the untouched partner's write is a
+			// projection no-op that merely keeps the shadow current.
+			r.shadow[t.a] = t.sa
+			r.shadow[t.b] = t.sb
+			if t.mask&1 != 0 {
+				cond.Update(int(t.a), r.shadow)
+			}
+			if t.mask&2 != 0 {
+				cond.Update(int(t.b), r.shadow)
+			}
+			if cond.Done() {
+				hit = int64(t.pos)
+				return
+			}
+		}
+	}
+	for s := range r.intraRecs {
+		apply(r.intraRecs[s])
+		r.intraRecs[s] = r.intraRecs[s][:0]
+	}
+	for _, round := range r.rounds {
+		for _, c := range round {
+			apply(r.crossRecs[c])
+			r.crossRecs[c] = r.crossRecs[c][:0]
+		}
+	}
+	return hit
+}
+
+// RunUntilExact executes interactions until the incrementally
+// maintained condition reports Done, or maxSteps interactions have
+// been executed (sim.ErrBudgetExhausted) — the sharded counterpart of
+// sim.RunUntilCondT. The condition is initialized from the current
+// configuration and checked once before the first interaction.
+//
+// The returned step count is the exact hitting time of the sharded
+// trajectory: batches run at the engine's native barrier period
+// (independent of any poll cadence), and the barrier fold replays the
+// batch's touched interactions in canonical application order to pin
+// the first satisfying interaction within the batch. Transient
+// conditions are handled exactly: a condition that holds mid-batch and
+// breaks again before the barrier is still detected by the fold, which
+// a polled validity scan would sail through.
+//
+// Because the hit's batch has been fully applied when the fold detects
+// Done, Steps() (and the pair streams) can sit up to one batch past
+// the returned value; for silent stop conditions the trailing
+// interactions are no-ops, so the final configuration is the one at
+// the hitting time. The result is byte-identical at any worker count.
+func (r *Runner[S, P]) RunUntilExact(cond sim.Condition[S], maxSteps int64) (int64, error) {
+	cond.Init(r.states)
+	if cond.Done() {
+		return r.steps, nil
+	}
+	r.enableTracking()
+	defer func() { r.tracking = false }()
+	stop := r.startWorkers()
+	defer stop()
+	for r.steps < maxSteps {
+		b := int64(r.batch)
+		if remaining := maxSteps - r.steps; b > remaining {
+			b = remaining
+		}
+		before := r.steps
+		r.runBatch(int(b))
+		if hit := r.fold(cond); hit >= 0 {
+			return before + hit + 1, nil
+		}
+	}
+	return r.steps, sim.ErrBudgetExhausted
+}

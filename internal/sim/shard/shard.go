@@ -47,7 +47,10 @@
 // the caller may inspect states, which makes the poll cadence of
 // RunUntil / Observe part of the trajectory definition. Determinism
 // guarantees are therefore stated for a fixed call sequence — which is
-// how the experiment generators drive the engine.
+// how the experiment generators drive the engine. RunUntilExact always
+// runs full batches, so its barrier placement (and hence its
+// trajectory) is a pure function of (seed, S, budget) — no cadence
+// enters the definition.
 package shard
 
 import (
@@ -133,7 +136,7 @@ func AutoShards(n, procs int) int {
 // concurrently — parallelism lives *inside* a call (workers are
 // spawned per Run and joined before it returns, so an idle Runner
 // holds no goroutines).
-type Runner[S any, P sim.Protocol[S]] struct {
+type Runner[S any, P sim.TouchReporter[S]] struct {
 	proto   P
 	states  []S
 	master  *rng.PairBatch
@@ -148,6 +151,19 @@ type Runner[S any, P sim.Protocol[S]] struct {
 	rounds     [][]int   // tournament schedule: class ids playable concurrently
 	tasks      chan task
 	wg         sync.WaitGroup
+
+	// Exact-stop tracking scratch (exact.go), allocated on the first
+	// RunUntilExact. While tracking is set, applyIntra/applyCross record
+	// every touched interaction with its canonical batch position so the
+	// coordinator can fold the batch into the stop tracker at the
+	// barrier. Each unit (shard or cross class) writes only its own
+	// record slice, so recording is race-free without synchronization.
+	tracking  bool
+	intraOff  []int32 // canonical batch offset of shard s's intra pairs
+	crossOff  []int32 // canonical batch offset of class c's pairs
+	intraRecs [][]touchRec[S]
+	crossRecs [][]touchRec[S]
+	shadow    []S // projection-faithful replay configuration
 }
 
 // shardMeta is one shard: its index range [lo, hi) in the population
@@ -172,7 +188,7 @@ type task struct {
 // CPU, and more workers than shards are never useful, so the count is
 // clamped to the shard count. The trajectory depends on (seed, clamped
 // shard count) only — never on workers.
-func New[S any, P sim.Protocol[S]](p P, states []S, seed uint64, shards, workers int) *Runner[S, P] {
+func New[S any, P sim.TouchReporter[S]](p P, states []S, seed uint64, shards, workers int) *Runner[S, P] {
 	n := len(states)
 	if n < 2 {
 		panic(fmt.Sprintf("shard: population needs at least 2 agents, got %d", n))
@@ -242,6 +258,21 @@ func (r *Runner[S, P]) Snapshot() []S {
 	return out
 }
 
+// startWorkers spawns the per-call worker pool (none for a single
+// worker) and returns the function that retires it. Phase barriers
+// guarantee no task is in flight at retirement, so closing the channel
+// suffices; an idle Runner holds no goroutines.
+func (r *Runner[S, P]) startWorkers() (stop func()) {
+	if r.workers <= 1 {
+		return func() {}
+	}
+	r.tasks = make(chan task, len(r.shards))
+	for w := 0; w < r.workers; w++ {
+		go r.worker(r.tasks)
+	}
+	return func() { close(r.tasks); r.tasks = nil }
+}
+
 // Run executes k interactions in barrier-synchronized batches. The
 // final batch is truncated to k, so all k interactions have been
 // applied when Run returns.
@@ -249,15 +280,8 @@ func (r *Runner[S, P]) Run(k int64) {
 	if k <= 0 {
 		return
 	}
-	if r.workers > 1 {
-		r.tasks = make(chan task, len(r.shards))
-		for w := 0; w < r.workers; w++ {
-			go r.worker(r.tasks)
-		}
-		// Phase barriers guarantee no task is in flight here, so
-		// closing the channel retires the workers.
-		defer func() { close(r.tasks); r.tasks = nil }()
-	}
+	stop := r.startWorkers()
+	defer stop()
 	for k > 0 {
 		b := int64(r.batch)
 		if b > k {
@@ -305,6 +329,27 @@ func (r *Runner[S, P]) runBatch(b int) {
 		}
 		r.master.Advance(m)
 		done += m
+	}
+
+	// In tracking mode, assign every unit its canonical offset within
+	// the batch before any work is dispatched: intra shards first in
+	// shard order, then cross classes in round order — exactly the
+	// canonical application order of DESIGN.md §3. A recorded touch at
+	// index i of a unit then carries the globally increasing position
+	// offset+i, letting the barrier fold replay the batch's touches as
+	// one totally ordered interaction sequence.
+	if r.tracking {
+		off := int32(0)
+		for s := 0; s < nshards; s++ {
+			r.intraOff[s] = off
+			off += int32(r.intraCount[s])
+		}
+		for _, round := range r.rounds {
+			for _, c := range round {
+				r.crossOff[c] = off
+				off += int32(len(r.cross[c]) / 2)
+			}
+		}
 	}
 
 	// Intra phase: one task per shard with work.
@@ -355,10 +400,30 @@ func (r *Runner[S, P]) runBatch(b int) {
 }
 
 // applyIntra applies shard s's intra pairs for this batch, drawing
-// them from the shard's own stream in slot order.
+// them from the shard's own stream in slot order. In tracking mode it
+// additionally records every touched interaction into the shard's
+// private record slice — no other unit writes it, so recording needs
+// no synchronization.
 func (r *Runner[S, P]) applyIntra(s int) {
 	sh := &r.shards[s]
 	slab := r.states[sh.lo:sh.hi]
+	if !r.tracking {
+		for cnt := r.intraCount[s]; cnt > 0; {
+			as, bs := sh.pb.Window()
+			m := cnt
+			if m > len(as) {
+				m = len(as)
+			}
+			for i := 0; i < m; i++ {
+				r.proto.Transition(&slab[as[i]], &slab[bs[i]])
+			}
+			sh.pb.Advance(m)
+			cnt -= m
+		}
+		return
+	}
+	recs := r.intraRecs[s][:0]
+	lo, pos := int32(sh.lo), r.intraOff[s]
 	for cnt := r.intraCount[s]; cnt > 0; {
 		as, bs := sh.pb.Window()
 		m := cnt
@@ -366,19 +431,41 @@ func (r *Runner[S, P]) applyIntra(s int) {
 			m = len(as)
 		}
 		for i := 0; i < m; i++ {
-			r.proto.Transition(&slab[as[i]], &slab[bs[i]])
+			a, b := as[i], bs[i]
+			ut, vt := r.proto.TransitionT(&slab[a], &slab[b])
+			if ut || vt {
+				recs = append(recs, newTouchRec(pos, ut, vt, lo+a, lo+b, slab[a], slab[b]))
+			}
+			pos++
 		}
 		sh.pb.Advance(m)
 		cnt -= m
 	}
+	r.intraRecs[s] = recs
 }
 
-// applyCross applies class c's cross pairs in sampled order.
+// applyCross applies class c's cross pairs in sampled order, recording
+// touched interactions into the class's private record slice when
+// tracking (see applyIntra).
 func (r *Runner[S, P]) applyCross(c int) {
 	ps := r.cross[c]
-	for i := 0; i < len(ps); i += 2 {
-		r.proto.Transition(&r.states[ps[i]], &r.states[ps[i+1]])
+	if !r.tracking {
+		for i := 0; i < len(ps); i += 2 {
+			r.proto.Transition(&r.states[ps[i]], &r.states[ps[i+1]])
+		}
+		return
 	}
+	recs := r.crossRecs[c][:0]
+	pos := r.crossOff[c]
+	for i := 0; i < len(ps); i += 2 {
+		a, b := ps[i], ps[i+1]
+		ut, vt := r.proto.TransitionT(&r.states[a], &r.states[b])
+		if ut || vt {
+			recs = append(recs, newTouchRec(pos, ut, vt, a, b, r.states[a], r.states[b]))
+		}
+		pos++
+	}
+	r.crossRecs[c] = recs
 }
 
 // shardOf inverts the floor partition: agent i of n belongs to shard
@@ -394,7 +481,9 @@ func (r *Runner[S, P]) shardOf(i int) int {
 // interactions), exactly as sim.Runner.RunUntil. It returns the number
 // of interactions executed at the first poll where the condition held.
 // If the condition does not hold within maxSteps interactions it stops
-// and returns sim.ErrBudgetExhausted.
+// and returns sim.ErrBudgetExhausted. Callers measuring hitting times
+// should use RunUntilExact, which stops exactly instead of at the poll
+// cadence.
 func (r *Runner[S, P]) RunUntil(stop func(states []S) bool, checkEvery, maxSteps int64) (int64, error) {
 	if checkEvery < 1 {
 		checkEvery = int64(len(r.states))

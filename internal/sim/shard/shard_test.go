@@ -95,6 +95,16 @@ func (j *jitterProto) Transition(u, v *stable.State) {
 	j.inner.Transition(u, v)
 }
 
+func (j *jitterProto) TransitionT(u, v *stable.State) (bool, bool) {
+	spin := (int(u.Rank)%13)*37 + (int(v.Phase)%5)*11
+	x := 0
+	for i := 0; i < spin; i++ {
+		x += i
+	}
+	j.sink.Add(int64(x & 1))
+	return j.inner.TransitionT(u, v)
+}
+
 // TestWorkerCountInvariance is the headline determinism contract: for
 // a fixed (seed, S) the trajectory is byte-identical at every worker
 // count, including under the adversarial jitter schedule. Checked over
@@ -166,6 +176,13 @@ type countState struct{ id int32 }
 
 func (c *countProto) Transition(u, v *countState) {
 	c.counts[int(u.id)*c.n+int(v.id)].Add(1)
+}
+
+// TransitionT reports no touches: identities never change, so there is
+// no condition-relevant projection to move.
+func (c *countProto) TransitionT(u, v *countState) (bool, bool) {
+	c.Transition(u, v)
+	return false, false
 }
 
 // TestUniformPairLaw checks the sharded scheduler's per-slot law: each
@@ -249,6 +266,154 @@ func TestObserveCadence(t *testing.T) {
 	})
 	if !reflect.DeepEqual(sharded, serial) {
 		t.Fatalf("observation cadence differs: sharded %v vs serial %v", sharded, serial)
+	}
+}
+
+// TestRunUntilExactWorkerInvariance extends the headline determinism
+// contract to exact stopping: for a fixed (seed, S) the reported
+// hitting time and the final configuration are byte-identical at every
+// worker count, including under the adversarial jitter schedule
+// (records are written by the unit that owns them; the fold runs on
+// the coordinator).
+func TestRunUntilExactWorkerInvariance(t *testing.T) {
+	const (
+		n    = 256
+		seed = 0xe4ac7
+	)
+	budget := stable.Describe().Budget(n)
+	for _, S := range []int{3, 4} {
+		run := func(workers int, jitter bool) (int64, []stable.State) {
+			p := stable.New(n, stable.DefaultParams())
+			cond := sim.DescCond(stable.Describe(), p)
+			var r *Runner[stable.State, sim.TouchReporter[stable.State]]
+			if jitter {
+				r = New[stable.State, sim.TouchReporter[stable.State]](&jitterProto{inner: p}, p.WorstCaseInit(), seed, S, workers)
+			} else {
+				r = New[stable.State, sim.TouchReporter[stable.State]](p, p.WorstCaseInit(), seed, S, workers)
+			}
+			hit, err := r.RunUntilExact(cond, budget)
+			if err != nil {
+				t.Fatalf("S=%d workers=%d jitter=%t: %v", S, workers, jitter, err)
+			}
+			return hit, r.States()
+		}
+		refHit, refStates := run(1, false)
+		if refHit < 2 {
+			t.Fatalf("S=%d: worst-case init hit at %d; the invariance check is vacuous", S, refHit)
+		}
+		for _, workers := range []int{2, 8} {
+			for _, jitter := range []bool{false, true} {
+				hit, states := run(workers, jitter)
+				if hit != refHit {
+					t.Fatalf("S=%d workers=%d jitter=%t: hit %d, want %d", S, workers, jitter, hit, refHit)
+				}
+				if !reflect.DeepEqual(states, refStates) {
+					t.Fatalf("S=%d workers=%d jitter=%t: final states differ from the 1-worker reference", S, workers, jitter)
+				}
+			}
+		}
+	}
+}
+
+// TestRunUntilExactBatchGroundTruth checks the fold's hitting time
+// against an independent replay: a twin runner with the same
+// (seed, S) stepped one native batch at a time. The stop condition
+// is silent, so the full-scan Valid predicate must be false at every
+// barrier before the reported hit and true at the first barrier at or
+// past it, the hit must lie within one batch of that barrier, and the
+// twin's configuration there must equal the exact runner's.
+func TestRunUntilExactBatchGroundTruth(t *testing.T) {
+	const (
+		n    = 300
+		seed = 11
+		S    = 4
+	)
+	budget := stable.Describe().Budget(n)
+	p := stable.New(n, stable.DefaultParams())
+	r := New[stable.State](p, p.WorstCaseInit(), seed, S, 2)
+	hit, err := r.RunUntilExact(sim.DescCond(stable.Describe(), p), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := stable.New(n, stable.DefaultParams())
+	tw := New[stable.State](p2, p2.WorstCaseInit(), seed, S, 1)
+	batch := int64(tw.batch)
+	for tw.Steps() < hit {
+		if stable.Valid(tw.States()) {
+			t.Fatalf("condition already held at barrier %d, before the reported hit %d", tw.Steps(), hit)
+		}
+		tw.Run(batch)
+	}
+	if !stable.Valid(tw.States()) {
+		t.Fatalf("condition does not hold at barrier %d, the first at or past the reported hit %d", tw.Steps(), hit)
+	}
+	if tw.Steps()-hit >= batch {
+		t.Fatalf("hit %d is more than one batch before its barrier %d", hit, tw.Steps())
+	}
+	if !reflect.DeepEqual(tw.States(), r.States()) {
+		t.Fatal("twin replay and exact runner disagree on the final configuration")
+	}
+}
+
+// neverCond never holds — the budget-exhaustion probe.
+type neverCond struct{}
+
+func (neverCond) Init([]stable.State)        {}
+func (neverCond) Update(int, []stable.State) {}
+func (neverCond) Done() bool                 { return false }
+
+// alwaysCond holds from the start — the pre-satisfied probe.
+type alwaysCond struct{}
+
+func (alwaysCond) Init([]stable.State)        {}
+func (alwaysCond) Update(int, []stable.State) {}
+func (alwaysCond) Done() bool                 { return true }
+
+// TestRunUntilExactSemantics pins the contract edges: a pre-satisfied
+// condition stops before the first interaction, and budget exhaustion
+// executes exactly maxSteps interactions (the final batch is truncated
+// to the remaining budget) and reports sim.ErrBudgetExhausted.
+func TestRunUntilExactSemantics(t *testing.T) {
+	p := stable.New(64, stable.DefaultParams())
+	r := New[stable.State](p, p.InitialStates(), 5, 4, 2)
+
+	steps, err := r.RunUntilExact(alwaysCond{}, 1000)
+	if err != nil || steps != 0 || r.Steps() != 0 {
+		t.Fatalf("pre-satisfied stop: steps=%d runner=%d err=%v", steps, r.Steps(), err)
+	}
+
+	steps, err = r.RunUntilExact(neverCond{}, 1234)
+	if err != sim.ErrBudgetExhausted {
+		t.Fatalf("expected ErrBudgetExhausted, got %v", err)
+	}
+	if steps != 1234 || r.Steps() != 1234 {
+		t.Fatalf("budget run executed %d steps (runner %d), want 1234", steps, r.Steps())
+	}
+}
+
+// TestRunUntilExactSeedDeterminism pins that the exact run is a pure
+// function of (seed, S): same seed ⇒ identical hit and configuration,
+// different seed ⇒ a different trajectory.
+func TestRunUntilExactSeedDeterminism(t *testing.T) {
+	const n, S = 200, 4
+	run := func(seed uint64) (int64, []stable.State) {
+		p := stable.New(n, stable.DefaultParams())
+		r := New[stable.State](p, p.WorstCaseInit(), seed, S, 2)
+		hit, err := r.RunUntilExact(sim.DescCond(stable.Describe(), p), stable.Describe().Budget(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit, r.States()
+	}
+	h1, s1 := run(5)
+	h2, s2 := run(5)
+	if h1 != h2 || !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same seed produced different exact runs: %d vs %d", h1, h2)
+	}
+	h3, s3 := run(6)
+	if h1 == h3 && reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced an identical trajectory")
 	}
 }
 

@@ -32,13 +32,51 @@ type touchRec struct {
 	mask uint8 // 1 = initiator touched, 2 = responder touched
 }
 
-// RunUntilCondT executes interactions until the incrementally
-// maintained condition reports Done, or maxSteps interactions have been
-// executed (ErrBudgetExhausted). It is the touch-aware form of
-// Runner.RunUntilCond: the protocol's TransitionT reports which agents
-// changed condition-relevant state, and only those interactions pay
-// tracker calls — unchanged interactions, the overwhelming majority
-// near convergence, run at plain Run-loop speed.
+// condEngine is the reusable core of the touch-aware serial loops
+// (RunUntilCondT, ObserveCondT): the collision scratch and the
+// sub-batch fold over an already-initialized condition. It persists
+// across run calls, so an observation loop pays the marks allocation
+// once, not per window.
+type condEngine[S any, P TouchReporter[S]] struct {
+	r    *Runner[S, P]
+	cond Condition[S]
+	// marks is the collision scratch: marks[a] == epoch while agent a
+	// has a recorded-but-unfolded touch in the current sub-batch.
+	marks   []uint32
+	epoch   uint32
+	pending []touchRec
+	// touched reports whether any interaction since the last reset
+	// moved a tracked projection — the signal ObserveCondT uses to
+	// skip probe work on quiescent windows.
+	touched bool
+}
+
+func newCondEngine[S any, P TouchReporter[S]](r *Runner[S, P], cond Condition[S]) *condEngine[S, P] {
+	return &condEngine[S, P]{r: r, cond: cond, marks: make([]uint32, len(r.states)), epoch: 1}
+}
+
+// fold replays the recorded touched slots of the current sub-batch in
+// application order. It returns the window-relative slot of the first
+// interaction after which the condition held, or -1.
+func (e *condEngine[S, P]) fold(as, bs []int32) int32 {
+	states := e.r.states
+	for _, t := range e.pending {
+		if t.mask&1 != 0 {
+			e.cond.Update(int(as[t.slot]), states)
+		}
+		if t.mask&2 != 0 {
+			e.cond.Update(int(bs[t.slot]), states)
+		}
+		if e.cond.Done() {
+			return t.slot
+		}
+	}
+	return -1
+}
+
+// run executes up to k further interactions, stopping early at the
+// exact hitting time of the condition. It returns the exact hitting
+// step, or -1 if the condition did not hold within the k interactions.
 //
 // The engine applies each PairBatch window as a sequence of
 // collision-free sub-batches. A pre-scan is unnecessary: the split
@@ -53,8 +91,71 @@ type touchRec struct {
 // projection, so the tracker sees exactly the per-interaction
 // trajectory and the first satisfying interaction is identified
 // exactly.
+func (e *condEngine[S, P]) run(k int64) int64 {
+	r := e.r
+	states := r.states
+	end := r.steps + k
+	for r.steps < end {
+		as, bs := r.pairs.Window()
+		if remaining := end - r.steps; int64(len(as)) > remaining {
+			as, bs = as[:remaining], bs[:remaining]
+		}
+		e.pending = e.pending[:0]
+		np := 0
+		for i, a := range as {
+			b := bs[i]
+			if np != 0 && (e.marks[a] == e.epoch || e.marks[b] == e.epoch) {
+				// Collision with a touched agent: close the sub-batch
+				// before interaction i sees (or perturbs) a recorded
+				// projection.
+				if hit := e.fold(as, bs); hit >= 0 {
+					exact := r.steps + int64(hit) + 1
+					r.pairs.Advance(i)
+					r.steps += int64(i)
+					return exact
+				}
+				e.epoch++
+				e.pending = e.pending[:0]
+				np = 0
+			}
+			ut, vt := r.proto.TransitionT(&states[a], &states[b])
+			if ut || vt {
+				var m uint8
+				if ut {
+					e.marks[a] = e.epoch
+					m = 1
+				}
+				if vt {
+					e.marks[b] = e.epoch
+					m |= 2
+				}
+				e.pending = append(e.pending, touchRec{slot: int32(i), mask: m})
+				np++
+				e.touched = true
+			}
+		}
+		hit := e.fold(as, bs)
+		exact := r.steps + int64(hit) + 1
+		e.epoch++
+		r.pairs.Advance(len(as))
+		r.steps += int64(len(as))
+		if hit >= 0 {
+			return exact
+		}
+	}
+	return -1
+}
+
+// RunUntilCondT executes interactions until the incrementally
+// maintained condition reports Done, or maxSteps interactions have been
+// executed (ErrBudgetExhausted). It is the touch-aware form of
+// Runner.RunUntilCond: the protocol's TransitionT reports which agents
+// changed condition-relevant state, and only those interactions pay
+// tracker calls — unchanged interactions, the overwhelming majority
+// near convergence, run at plain Run-loop speed (see condEngine.run for
+// the collision-free sub-batch machinery).
 //
-// The returned step count is that exact hitting time. Because
+// The returned step count is the exact hitting time. Because
 // transitions of the hit's sub-batch may already have been applied
 // when the fold detects Done, Steps() (and the pair stream) can sit up
 // to one sub-batch past the returned value; for the silent stop
@@ -66,77 +167,52 @@ func RunUntilCondT[S any, P TouchReporter[S]](r *Runner[S, P], cond Condition[S]
 	if cond.Done() {
 		return r.steps, nil
 	}
-	states := r.states
-	// marks is the collision scratch: marks[a] == epoch while agent a
-	// has a recorded-but-unfolded touch in the current sub-batch.
-	marks := make([]uint32, len(states))
-	epoch := uint32(1)
-	var pending []touchRec
-
-	// fold replays the recorded touched slots of the current sub-batch
-	// in application order. It returns the window-relative slot of the
-	// first interaction after which the condition held, or -1.
-	fold := func(as, bs []int32) int32 {
-		for _, t := range pending {
-			if t.mask&1 != 0 {
-				cond.Update(int(as[t.slot]), states)
-			}
-			if t.mask&2 != 0 {
-				cond.Update(int(bs[t.slot]), states)
-			}
-			if cond.Done() {
-				return t.slot
-			}
-		}
-		return -1
-	}
-
-	for r.steps < maxSteps {
-		as, bs := r.pairs.Window()
-		if remaining := maxSteps - r.steps; int64(len(as)) > remaining {
-			as, bs = as[:remaining], bs[:remaining]
-		}
-		pending = pending[:0]
-		np := 0
-		for i, a := range as {
-			b := bs[i]
-			if np != 0 && (marks[a] == epoch || marks[b] == epoch) {
-				// Collision with a touched agent: close the sub-batch
-				// before interaction i sees (or perturbs) a recorded
-				// projection.
-				if hit := fold(as, bs); hit >= 0 {
-					exact := r.steps + int64(hit) + 1
-					r.pairs.Advance(i)
-					r.steps += int64(i)
-					return exact, nil
-				}
-				epoch++
-				pending = pending[:0]
-				np = 0
-			}
-			ut, vt := r.proto.TransitionT(&states[a], &states[b])
-			if ut || vt {
-				var m uint8
-				if ut {
-					marks[a] = epoch
-					m = 1
-				}
-				if vt {
-					marks[b] = epoch
-					m |= 2
-				}
-				pending = append(pending, touchRec{slot: int32(i), mask: m})
-				np++
-			}
-		}
-		hit := fold(as, bs)
-		exact := r.steps + int64(hit) + 1
-		epoch++
-		r.pairs.Advance(len(as))
-		r.steps += int64(len(as))
-		if hit >= 0 {
-			return exact, nil
+	if k := maxSteps - r.steps; k > 0 {
+		if hit := newCondEngine(r, cond).run(k); hit >= 0 {
+			return hit, nil
 		}
 	}
 	return r.steps, ErrBudgetExhausted
+}
+
+// ObserveCondT is the touch-aware observation loop: it executes
+// interactions until the incrementally maintained condition reports
+// Done — stopping at the exact hitting time, like RunUntilCondT — or
+// maxSteps is reached, invoking obs every `every` interactions (< 1 =
+// every n), plus once at the start and once at the final step. Windows
+// in which no interaction moved a tracked projection are skipped
+// entirely (except the first and final observation): every probe over
+// the tracked projection would resample the values it saw last window,
+// so a quiescent window pays neither the probe nor a validity scan. It
+// reports the final step count and whether the condition was reached.
+//
+// As with RunUntilCondT, the configuration passed to the final obs call
+// can sit up to one collision-free sub-batch past the reported hitting
+// step; for silent stop conditions the trailing interactions are
+// no-ops.
+func ObserveCondT[S any, P TouchReporter[S]](r *Runner[S, P], cond Condition[S], obs func(steps int64, states []S), every, maxSteps int64) (int64, bool) {
+	if every < 1 {
+		every = int64(len(r.states))
+	}
+	cond.Init(r.states)
+	obs(r.steps, r.states)
+	if cond.Done() {
+		return r.steps, true
+	}
+	e := newCondEngine(r, cond)
+	for r.steps < maxSteps {
+		chunk := every
+		if remaining := maxSteps - r.steps; chunk > remaining {
+			chunk = remaining
+		}
+		e.touched = false
+		if hit := e.run(chunk); hit >= 0 {
+			obs(hit, r.states)
+			return hit, true
+		}
+		if e.touched || r.steps >= maxSteps {
+			obs(r.steps, r.states)
+		}
+	}
+	return r.steps, false
 }

@@ -33,6 +33,14 @@ func Describe() proto.Descriptor[State, *Protocol] {
 		Resets:         (*Protocol).Resets,
 		ResetBreakdown: (*Protocol).ResetBreakdown,
 		RandomState:    (*Protocol).RandomState,
-		Budget:         proto.BudgetN2LogN(3000),
+		Probes: []proto.Probe[State, *Protocol]{
+			// The mean phase counter over phase agents — the protocol's
+			// clock observable, the third column of the paper's Fig. 2
+			// trace. Registered here so observation layers (the facade's
+			// Snapshot, the -trace CSV) read it through the descriptor
+			// instead of importing this package.
+			{Name: "mean_phase", Fn: func(_ *Protocol, states []State) float64 { return MeanPhase(states) }},
+		},
+		Budget: proto.BudgetN2LogN(3000),
 	}
 }

@@ -2,6 +2,7 @@ package ssrank
 
 import (
 	"fmt"
+	"math"
 
 	"ssrank/internal/faults"
 	"ssrank/internal/proto"
@@ -216,9 +217,16 @@ func (s *msgSimDriver[S, P]) observe(every, maxSteps int64, obs func(Snapshot)) 
 		every = int64(s.nw.N())
 	}
 	obs(s.snapshot())
-	for s.nw.Steps() < maxSteps && s.nw.Rounds() < maxSteps {
+	// The round backstop is derived from the *remaining* interaction
+	// budget, like step does per call — never from the absolute budget:
+	// a simulation that already executed ≥ maxSteps rounds under a
+	// lossy regime (DropProb near 1 delivers almost nothing per round)
+	// must still get its budget's worth of rounds here, and the
+	// absolute counters can both saturate near MaxInt64.
+	roundCap := s.nw.Rounds() + remainingRounds(s.nw.Rounds(), maxSteps-s.nw.Steps())
+	for s.nw.Steps() < maxSteps && s.nw.Rounds() < roundCap {
 		next := s.nw.Steps() + every
-		for s.nw.Steps() < next && s.nw.Steps() < maxSteps && s.nw.Rounds() < maxSteps {
+		for s.nw.Steps() < next && s.nw.Steps() < maxSteps && s.nw.Rounds() < roundCap {
 			s.nw.Round()
 		}
 		obs(s.snapshot())
@@ -228,8 +236,22 @@ func (s *msgSimDriver[S, P]) observe(every, maxSteps int64, obs func(Snapshot)) 
 	}
 }
 
+// remainingRounds clamps a remaining-interaction budget to what can be
+// added to the current round counter without overflowing int64.
+func remainingRounds(rounds, remaining int64) int64 {
+	if remaining < 0 {
+		return 0
+	}
+	if remaining > math.MaxInt64-rounds {
+		return math.MaxInt64 - rounds
+	}
+	return remaining
+}
+
 func (s *msgSimDriver[S, P]) snapshot() Snapshot {
-	return descSnapshot(s.d, s.p, s.nw.Steps(), s.nw.States())
+	snap := descSnapshot(s.d, s.p, s.nw.Steps(), s.nw.States())
+	snap.Rounds = s.nw.Rounds()
+	return snap
 }
 
 func (s *msgSimDriver[S, P]) interactions() int64 { return s.nw.Steps() }

@@ -232,6 +232,48 @@ func TestDuplicateGated(t *testing.T) {
 	}
 }
 
+// TestMessageNetworkObserveRoundBackstop pins the Observe round-cap
+// fix: the backstop must be derived from the *remaining* interaction
+// budget, not the absolute one. Under DropProb 1 a round delivers
+// nothing, so a simulation can burn far more rounds than maxSteps
+// before Observe is called — the buggy absolute cap then returned
+// immediately, observing nothing. It also pins Snapshot.Rounds: the
+// round counter on the message network, 0 on the in-place engines.
+func TestMessageNetworkObserveRoundBackstop(t *testing.T) {
+	s, err := NewSimulation(Config{
+		N: 16, Protocol: StableRanking, Seed: 2,
+		Faults: Faults{DropProb: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(500) // 500 rounds, zero interactions delivered
+	if s.Interactions() != 0 {
+		t.Fatalf("Drop=1 network delivered %d interactions", s.Interactions())
+	}
+	start := s.Snapshot().Rounds
+	if start < 500 {
+		t.Fatalf("Snapshot.Rounds = %d after 500 starved rounds", start)
+	}
+	var last Snapshot
+	s.Observe(0, 200, func(snap Snapshot) { last = snap })
+	if got := s.Snapshot().Rounds - start; got != 200 {
+		t.Fatalf("Observe ran %d rounds, want 200 (the remaining interaction budget)", got)
+	}
+	if last.Rounds != start+200 {
+		t.Fatalf("final observation carries Rounds=%d, want %d", last.Rounds, start+200)
+	}
+
+	serial, err := NewSimulation(Config{N: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Step(100)
+	if r := serial.Snapshot().Rounds; r != 0 {
+		t.Fatalf("in-place engine reported Snapshot.Rounds = %d, want 0", r)
+	}
+}
+
 // TestMessageNetworkBudget asserts a starved network reports
 // ErrNotConverged instead of spinning (the round backstop).
 func TestMessageNetworkBudget(t *testing.T) {

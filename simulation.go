@@ -29,6 +29,14 @@ type Snapshot struct {
 	Leader int
 	// Resets is the protocol's cumulative self-healing reset count.
 	Resets int64
+	// Rounds is the number of communication rounds executed when the
+	// snapshot was taken — message-network simulations only (0 on the
+	// in-place engines, mirroring Result.Rounds).
+	Rounds int64
+	// Probes holds the protocol's registered named observables
+	// (StableRanking's "mean_phase"), nil for protocols that register
+	// none.
+	Probes map[string]float64
 }
 
 // Simulation is a stepwise handle on any registered protocol: run a
@@ -98,12 +106,17 @@ func (s *Simulation) defaultCap() int64 {
 	return done + budget
 }
 
-// Observe executes interactions until the stop condition holds (polled
-// at the observation cadence) or maxInteractions is reached (0 = the
-// default budget on top of the interactions already executed),
-// invoking obs every `every` interactions (< 1 = every n), plus once
-// at the start and once at the final step. It reports whether the
-// population stabilized.
+// Observe executes interactions until the stop condition holds or
+// maxInteractions is reached (0 = the default budget on top of the
+// interactions already executed), invoking obs every `every`
+// interactions (< 1 = every n), plus once at the start and once at the
+// final step. On the serial in-place engine the stop is exact (the
+// incremental tracker catches the hitting time mid-window) and
+// observation is touch-aware: windows in which no interaction moved a
+// tracked projection are skipped, since every projection-derived
+// snapshot field would repeat the previous sample. Message-network
+// simulations poll per round and sample every window. It reports
+// whether the population stabilized.
 func (s *Simulation) Observe(every, maxInteractions int64, obs func(Snapshot)) bool {
 	if maxInteractions == 0 {
 		maxInteractions = s.defaultCap()
@@ -208,6 +221,12 @@ func descSnapshot[S any, P any](d proto.Descriptor[S, P], p P, steps int64, stat
 	if d.Resets != nil {
 		snap.Resets = d.Resets(p)
 	}
+	if len(d.Probes) > 0 {
+		snap.Probes = make(map[string]float64, len(d.Probes))
+		for _, pr := range d.Probes {
+			snap.Probes[pr.Name] = pr.Fn(p, states)
+		}
+	}
 	return snap
 }
 
@@ -259,9 +278,9 @@ func (s *simDriver[S, P]) runUntilStable(maxSteps int64) bool {
 }
 
 func (s *simDriver[S, P]) observe(every, maxSteps int64, obs func(Snapshot)) {
-	s.r.Observe(func(steps int64, states []S) {
+	sim.ObserveCondT(s.r, sim.DescCond(s.d, s.p), func(steps int64, states []S) {
 		obs(descSnapshot(s.d, s.p, steps, states))
-	}, every, maxSteps, s.d.Valid)
+	}, every, maxSteps)
 }
 
 func (s *simDriver[S, P]) snapshot() Snapshot {

@@ -64,9 +64,10 @@ const (
 	// rather than ranks: Result.Ranks carries the leader bit (1 for
 	// the leader, 0 otherwise). Uniqueness is transient, so the
 	// reported configuration can postdate the hitting time by a few
-	// interactions (Result.Interactions is still exact), and only the
-	// serial exact tracker can measure the hitting time at all —
-	// Loose therefore ignores Config.Shards and always runs serially.
+	// interactions (Result.Interactions is still exact). Both in-place
+	// engines measure that hitting time exactly — the serial and
+	// sharded trackers evaluate uniqueness after every interaction, so
+	// Loose honors Config.Shards like every other protocol.
 	Loose Protocol = "loose"
 )
 
@@ -130,9 +131,14 @@ type Config struct {
 	// faster outright (DESIGN.md §3.2). The sentinel AutoShards (-1)
 	// derives the count from N and the machine's core count, staying
 	// serial for small populations — note the resolved count, and
-	// hence the trajectory, then depends on the machine. A sharded
-	// trajectory is only defined at batch barriers, so sharded runs
-	// stop on the polled validity scan (Result.Exact = false).
+	// hence the trajectory, then depends on the machine; Result.Shards
+	// reports what was resolved. Sharded runs stop at the exact
+	// hitting time like serial runs (Result.Exact = true on
+	// convergence): per-shard touch records are folded into the stop
+	// tracker at each batch barrier, pinning the first satisfying
+	// interaction of the batch (DESIGN.md §3.3). The count requested
+	// here is clamped to [1, N/2] (every shard needs at least two
+	// agents).
 	Shards int
 	// ShardWorkers bounds the shard worker pool when Shards > 1 —
 	// and the message network's delivery worker pool when the run
@@ -174,11 +180,20 @@ type Result struct {
 	Converged bool
 	// Exact reports whether Interactions is the exact hitting time —
 	// the first interaction after which the stop condition held. True
-	// on the serial engine (the incremental tracker evaluates the
-	// condition after every interaction); false on the sharded engine
-	// (stops are polled at batch granularity) and when the budget ran
-	// out.
+	// on every converged in-place run, serial or sharded: both engines
+	// evaluate the condition through the protocol's incremental
+	// tracker after every interaction (the sharded engine by folding
+	// per-shard touch records at each batch barrier). False only when
+	// the budget ran out or the run routed through the round-based
+	// message network (whose stops are polled per round).
 	Exact bool
+	// Shards is the resolved shard count the run executed with: the
+	// clamped Config.Shards (or the machine-resolved AutoShards
+	// count) on the sharded engine, 1 for serial in-place runs, 0 on
+	// the message network (which has no shard structure). Together
+	// with the rest of the Config it makes any sharded trajectory
+	// reproducible from the Result alone.
+	Shards int
 	// Leader is the index of the rank-1 agent (-1 if none) — the
 	// elected leader under the paper's output function.
 	Leader int
@@ -203,10 +218,9 @@ const AutoShards = shard.Auto
 
 // Run executes the configured protocol until it reaches its stop
 // condition — a valid silent ranking, a unique leader for Loose — or
-// the budget runs out. On the serial engine (Shards ≤ 1) the run
-// stops at the exact hitting time via the protocol's registered
-// incremental tracker; on the sharded engine validity is polled at
-// batch granularity (Result.Exact).
+// the budget runs out. Serial and sharded runs both stop at the exact
+// hitting time via the protocol's registered incremental tracker
+// (Result.Exact); only message-network runs poll.
 func Run(cfg Config) (Result, error) {
 	d, cfg, err := normalize(cfg)
 	if err != nil {
