@@ -1,0 +1,242 @@
+package ssrank
+
+import (
+	"fmt"
+	"math"
+
+	"ssrank/internal/ckpt"
+	"ssrank/internal/proto"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+	"ssrank/internal/sim/shard"
+)
+
+// This file implements the facade checkpoint format: a complete,
+// versioned, canonical binary serialization of a running in-place
+// Simulation. A checkpoint captures everything the trajectory depends
+// on — the identity of the run (protocol, init, n, seed, ε, shard
+// count), the fault-injection stream, the engine's scheduler position
+// (step counter plus every pair stream, prefetch position included),
+// the recorded exact hitting time, and the protocol's full mutable
+// state (agent slab plus instrumentation counters). Restoring it via
+// ResumeSimulation reproduces the interrupted run exactly: the resumed
+// simulation executes precisely the interactions the captured one
+// would have executed next, so checkpoint/resume at any cut point is
+// invisible in the final configuration, step count and Result
+// (split-run equivalence; DESIGN.md §8 gives the argument layer by
+// layer).
+//
+// The encoding is canonical — one logical state, one byte string — so
+// two checkpoints are equal exactly when the states they capture are.
+// The format is versioned by ckptVersion; fields are identified by
+// position, never by tag, so evolving the format means bumping the
+// version, not reordering fields under the existing one.
+//
+// Layout (all integers varint unless noted):
+//
+//	"sscp" magic, version uvarint
+//	protocol string, init string, n uvarint,
+//	seed u64, epsilon f64 (IEEE bit pattern), shards uvarint
+//	fault stream: 4×u64 (xoshiro256** words)
+//	engine kind uvarint (0 serial, 1 sharded)
+//	hit varint (-1 = no exact hit recorded), steps varint
+//	pair streams: master (serial: the only stream), sharded: master +
+//	  shard count uvarint + one per shard; each stream is
+//	  n uvarint, 4×u64 source state, consumed uvarint, filled bool
+//	protocol payload: the descriptor's MarshalState section
+//
+// Message-network simulations are not checkpointable (their in-flight
+// mailboxes and fault streams are not serializable state); Checkpoint
+// returns an error for them.
+const (
+	ckptMagic   = "sscp"
+	ckptVersion = 1
+
+	ckptKindSerial = 0
+	ckptKindShard  = 1
+)
+
+// Checkpoint serializes the simulation's complete state into the
+// versioned binary checkpoint format. The returned bytes, together
+// with the simulation's Config, reconstruct the run exactly via
+// ResumeSimulation: resuming and running to completion yields the
+// byte-identical final configuration, hitting time and Result an
+// uninterrupted run produces — provided sharded simulations are cut at
+// a multiple of the engine's batch period (serial simulations may be
+// cut anywhere; see Simulation for why sharded trajectories care about
+// barrier placement).
+//
+// Message-network simulations return an error.
+func (s *Simulation) Checkpoint() ([]byte, error) {
+	var w ckpt.Writer
+	w.Raw([]byte(ckptMagic))
+	w.Uvarint(ckptVersion)
+	w.String(string(s.cfg.Protocol))
+	w.String(string(s.cfg.Init))
+	w.Uvarint(uint64(s.cfg.N))
+	w.U64(s.cfg.Seed)
+	w.F64(s.cfg.Epsilon)
+	w.Uvarint(uint64(s.cfg.Shards))
+	for _, word := range s.fault.State() {
+		w.U64(word)
+	}
+	if err := s.h.marshal(&w); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// ResumeSimulation reconstructs a Simulation from a Checkpoint. cfg
+// must normalize to the identity the checkpoint was taken under —
+// same protocol, init, population size, seed, ε and resolved shard
+// count; a mismatch is an error, because the trajectory is a pure
+// function of those fields and resuming under different ones would
+// silently change the run. MaxInteractions and ShardWorkers are free
+// to differ: budgets are per-call and the worker count never affects
+// the trajectory.
+//
+// Note the shard count comparison uses the *resolved* count: a
+// checkpoint taken under Shards: AutoShards records the count that
+// machine resolved to, and resuming with AutoShards on a machine that
+// resolves differently is rejected. Pass the recorded count (it is in
+// the checkpointed Result.Config and the error message) to resume
+// across machines.
+func ResumeSimulation(cfg Config, data []byte) (*Simulation, error) {
+	d, cfg, err := normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.messageNetwork() {
+		return nil, fmt.Errorf("ssrank: message-network simulations are not checkpointable")
+	}
+	r := ckpt.NewReader(data)
+	r.Expect([]byte(ckptMagic))
+	if v := r.Uvarint(); r.Err() == nil && v != ckptVersion {
+		return nil, fmt.Errorf("ssrank: checkpoint version %d, this build reads version %d", v, ckptVersion)
+	}
+	protocol := Protocol(r.String())
+	init := Init(r.String())
+	n := r.Count(math.MaxInt32)
+	seed := r.U64()
+	epsilon := r.F64()
+	shards := r.Count(math.MaxInt32)
+	var fs [4]uint64
+	for i := range fs {
+		fs[i] = r.U64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ssrank: malformed checkpoint header: %w", err)
+	}
+	switch {
+	case protocol != cfg.Protocol:
+		return nil, fmt.Errorf("ssrank: checkpoint is for protocol %q, config names %q", protocol, cfg.Protocol)
+	case init != cfg.Init:
+		return nil, fmt.Errorf("ssrank: checkpoint is for init %q, config names %q", init, cfg.Init)
+	case n != cfg.N:
+		return nil, fmt.Errorf("ssrank: checkpoint holds %d agents, config names %d", n, cfg.N)
+	case seed != cfg.Seed:
+		return nil, fmt.Errorf("ssrank: checkpoint is for seed %d, config names %d", seed, cfg.Seed)
+	case math.Float64bits(epsilon) != math.Float64bits(cfg.Epsilon):
+		return nil, fmt.Errorf("ssrank: checkpoint is for epsilon %v, config names %v", epsilon, cfg.Epsilon)
+	case shards != cfg.Shards:
+		return nil, fmt.Errorf("ssrank: checkpoint is for %d shards, config resolves to %d", shards, cfg.Shards)
+	}
+	fault := rng.New(cfg.Seed ^ 0xfa017)
+	if err := fault.SetState(fs); err != nil {
+		return nil, fmt.Errorf("ssrank: checkpoint fault stream: %w", err)
+	}
+	h, err := d.resume(cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("ssrank: malformed checkpoint: %w", err)
+	}
+	return &Simulation{desc: d, cfg: cfg, h: h, fault: fault}, nil
+}
+
+// resumeDriver reconstructs the generic stepwise driver from a
+// checkpoint's engine section — the per-protocol half of
+// ResumeSimulation, reached through the descriptor's type-erased
+// resume hook. It rebuilds the runner over the deserialized slab and
+// restores the scheduler position on top; the constructor-seeded
+// streams are fully overwritten by SetEngineState, so the runner is
+// indistinguishable from the captured one.
+func resumeDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P], r *ckpt.Reader) (simHandle, error) {
+	if d.UnmarshalState == nil {
+		return nil, fmt.Errorf("ssrank: protocol %q does not register state serialization", d.Name)
+	}
+	kind := r.Uvarint()
+	hit := r.Varint()
+	steps := r.Varint()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ssrank: malformed checkpoint engine section: %w", err)
+	}
+	switch kind {
+	case ckptKindSerial:
+		if cfg.Shards != 1 {
+			return nil, fmt.Errorf("ssrank: serial checkpoint, config resolves to %d shards", cfg.Shards)
+		}
+		pairs := readPairState(r)
+		p := d.New(cfg.N)
+		states, err := d.UnmarshalState(p, r)
+		if err != nil {
+			return nil, err
+		}
+		run := sim.New[S](p, states, cfg.Seed)
+		if err := run.SetEngineState(sim.EngineState{Steps: steps, Pairs: pairs}); err != nil {
+			return nil, fmt.Errorf("ssrank: checkpoint pair stream: %w", err)
+		}
+		return &simDriver[S, P]{d: d, p: p, r: run, hit: hit}, nil
+	case ckptKindShard:
+		if cfg.Shards < 2 {
+			return nil, fmt.Errorf("ssrank: sharded checkpoint, config resolves to %d shard(s)", cfg.Shards)
+		}
+		st := shard.EngineState{Steps: steps, Master: readPairState(r)}
+		count := r.Count(cfg.N)
+		if r.Err() == nil && count != cfg.Shards {
+			return nil, fmt.Errorf("ssrank: checkpoint holds %d shard streams, config resolves to %d shards", count, cfg.Shards)
+		}
+		st.Shards = make([]rng.PairBatchState, count)
+		for i := range st.Shards {
+			st.Shards[i] = readPairState(r)
+		}
+		p := d.New(cfg.N)
+		states, err := d.UnmarshalState(p, r)
+		if err != nil {
+			return nil, err
+		}
+		run := shard.New[S](p, states, cfg.Seed, cfg.Shards, cfg.ShardWorkers)
+		if err := run.SetEngineState(st); err != nil {
+			return nil, fmt.Errorf("ssrank: checkpoint pair streams: %w", err)
+		}
+		return &shardSimDriver[S, P]{d: d, p: p, r: run, hit: hit}, nil
+	default:
+		return nil, fmt.Errorf("ssrank: unknown checkpoint engine kind %d", kind)
+	}
+}
+
+// writePairState appends a pair-stream position in the checkpoint
+// format's stream layout.
+func writePairState(w *ckpt.Writer, st rng.PairBatchState) {
+	w.Uvarint(uint64(st.N))
+	for _, word := range st.Src {
+		w.U64(word)
+	}
+	w.Uvarint(uint64(st.Consumed))
+	w.Bool(st.Filled)
+}
+
+// readPairState decodes a stream position written by writePairState.
+// Errors stick in r; rng.PairBatch.SetState validates the decoded
+// values against the live sampler.
+func readPairState(r *ckpt.Reader) rng.PairBatchState {
+	var st rng.PairBatchState
+	st.N = r.Count(math.MaxInt32)
+	for i := range st.Src {
+		st.Src[i] = r.U64()
+	}
+	st.Consumed = r.Count(math.MaxInt32)
+	st.Filled = r.Bool()
+	return st
+}

@@ -1,0 +1,187 @@
+// Command ssrankd serves ranking-protocol runs as jobs over HTTP: a
+// bounded worker pool drains a FIFO queue of submitted Configs, long
+// runs are checkpointed and preempted when the queue backs up, and
+// completed results are cached by the content address of their
+// canonical configuration — an identical re-submission is answered
+// instantly without re-execution (runs are deterministic, so the
+// cached result is exactly what a re-run would produce).
+//
+//	ssrankd -addr :8080 -workers 4
+//
+// API:
+//
+//	POST /jobs            submit a Config (JSON) → {"id": "job-0", ...}
+//	GET  /jobs            list all jobs
+//	GET  /jobs/{id}       job status; result and error once terminal
+//	GET  /jobs/{id}/events  Server-Sent Events: the job's ordered
+//	                      event log (queued, started, progress,
+//	                      preempted, cached, done/failed), replayed
+//	                      from the start and streamed to completion
+//	GET  /healthz         liveness probe
+//
+// See the README quickstart for a curl walkthrough.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"ssrank"
+	"ssrank/internal/jobs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "worker pool size")
+	slice := flag.Int64("slice", 0, "interactions per scheduling slice (0 = default); long jobs are checkpointed and preempted at slice boundaries when other jobs wait")
+	flag.Parse()
+
+	m := jobs.NewManager(jobs.Config{Workers: *workers, SliceInteractions: *slice})
+	defer m.Close()
+
+	log.Printf("ssrankd listening on %s (%d workers)", *addr, *workers)
+	if err := http.ListenAndServe(*addr, newMux(m)); err != nil {
+		fmt.Fprintln(os.Stderr, "ssrankd:", err)
+		os.Exit(1)
+	}
+}
+
+// newMux wires the API routes onto a fresh ServeMux (split from main
+// so tests can drive the handlers through httptest).
+func newMux(m *jobs.Manager) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		submit(m, w, r)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		list(m, w)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, jobView(j))
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "no such job", http.StatusNotFound)
+			return
+		}
+		stream(j, w, r)
+	})
+	return mux
+}
+
+// jobJSON is the wire form of a job.
+type jobJSON struct {
+	ID     string         `json:"id"`
+	State  jobs.State     `json:"state"`
+	Steps  int64          `json:"steps"`
+	Config ssrank.Config  `json:"config"`
+	Key    string         `json:"key"`
+	Result *ssrank.Result `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+func jobView(j *jobs.Job) jobJSON {
+	state, steps, result, err := j.Status()
+	v := jobJSON{ID: j.ID, State: state, Steps: steps, Config: j.Config, Key: j.Key, Result: result}
+	if err != nil {
+		v.Error = err.Error()
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// submit decodes a Config and enqueues it. Unknown fields are
+// rejected: a typoed field name silently meaning "default" would make
+// the submitted run differ from the intended one.
+func submit(m *jobs.Manager, w http.ResponseWriter, r *http.Request) {
+	var cfg ssrank.Config
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		http.Error(w, "bad config: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := m.Submit(cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView(j))
+}
+
+func list(m *jobs.Manager, w http.ResponseWriter) {
+	all := m.Jobs()
+	views := make([]jobJSON, len(all))
+	for i, j := range all {
+		views[i] = jobView(j)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+// stream serves a job's event log as Server-Sent Events: the full log
+// replayed from sequence 0, then live events as the job emits them,
+// closing after the terminal event. The jobs package guarantees a
+// gapless ordered log (Watch notifications coalesce; EventsSince
+// re-reads never drop), so the SSE ids are exactly the event
+// sequence numbers.
+func stream(j *jobs.Job, w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	notify, cancel := j.Watch()
+	defer cancel()
+
+	next := 0
+	send := func() bool {
+		for _, ev := range j.EventsSince(next) {
+			next = ev.Seq + 1
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return false
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return false
+			}
+		}
+		fl.Flush()
+		return true
+	}
+	if !send() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case _, open := <-notify:
+			if !send() {
+				return
+			}
+			if !open {
+				return
+			}
+		}
+	}
+}

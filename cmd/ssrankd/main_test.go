@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ssrank"
+	"ssrank/internal/jobs"
+)
+
+// postJob submits cfg as JSON and decodes the response view.
+func postJob(t *testing.T, srv *httptest.Server, body string) jobJSON {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: status %d", resp.StatusCode)
+	}
+	var v jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestServerLifecycle drives the full HTTP surface: submit, stream the
+// SSE event log to the terminal event, confirm the status endpoint
+// carries the exact Run result, and confirm an identical re-submission
+// is served from the cache without re-execution.
+func TestServerLifecycle(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(newMux(m))
+	defer srv.Close()
+
+	v := postJob(t, srv, `{"N":48,"Seed":9}`)
+	if v.State != jobs.Queued {
+		t.Fatalf("submitted job state %s, want %s", v.State, jobs.Queued)
+	}
+
+	// The SSE stream must replay the log from seq 0, stay gapless, and
+	// end by itself after a terminal event.
+	resp, err := http.Get(srv.URL + "/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var types []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if typ, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			types = append(types, typ)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) == 0 || types[len(types)-1] != jobs.EventDone {
+		t.Fatalf("event stream %v, want it to end with %s", types, jobs.EventDone)
+	}
+
+	var status jobJSON
+	getJSON(t, srv, "/jobs/"+v.ID, &status)
+	if status.State != jobs.Done || status.Result == nil {
+		t.Fatalf("terminal status %+v", status)
+	}
+	want, err := ssrank.Run(ssrank.Config{N: 48, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*status.Result, want) {
+		t.Fatalf("served result diverged from Run:\njob %+v\nrun %+v", *status.Result, want)
+	}
+
+	// Identical re-submit: cached, terminal without waiting.
+	again := postJob(t, srv, `{"N":48,"Seed":9,"ShardWorkers":6}`)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, srv, "/jobs/"+again.ID, &status)
+		if status.State == jobs.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cached job stuck in %s", status.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !reflect.DeepEqual(*status.Result, want) {
+		t.Fatal("cached result diverged from the computed one")
+	}
+	if n := m.Started(); n != 1 {
+		t.Fatalf("%d executions started, want 1", n)
+	}
+
+	var all []jobJSON
+	getJSON(t, srv, "/jobs", &all)
+	if len(all) != 2 {
+		t.Fatalf("listed %d jobs, want 2", len(all))
+	}
+}
+
+// TestServerRejects pins the error paths: malformed JSON, unknown
+// fields, invalid configs, and missing job ids.
+func TestServerRejects(t *testing.T) {
+	m := jobs.NewManager(jobs.Config{Workers: 1})
+	defer m.Close()
+	srv := httptest.NewServer(newMux(m))
+	defer srv.Close()
+
+	for name, body := range map[string]string{
+		"malformed":     `{"N":`,
+		"unknown field": `{"N":64,"Sede":3}`,
+		"invalid N":     `{"N":1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/jobs/job-99", "/jobs/job-99/events"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, v any) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"ssrank/internal/baseline/cai"
 	"ssrank/internal/baseline/interval"
 	"ssrank/internal/baseline/sudo"
+	"ssrank/internal/ckpt"
 	"ssrank/internal/core"
 	"ssrank/internal/proto"
 	"ssrank/internal/rng"
@@ -47,6 +48,7 @@ type Descriptor struct {
 
 	run    func(cfg Config) (Result, error)
 	newSim func(cfg Config) (simHandle, error)
+	resume func(cfg Config, r *ckpt.Reader) (simHandle, error)
 }
 
 // Supports reports whether the protocol registered the named init.
@@ -148,18 +150,15 @@ func describe[S any, P sim.TouchReporter[S]](mk func(Config) proto.Descriptor[S,
 			if cfg.messageNetwork() {
 				return newMsgSimDriver(cfg, mk(cfg))
 			}
+			if cfg.Shards > 1 {
+				return newShardSimDriver(cfg, mk(cfg))
+			}
 			return newSimDriver(cfg, mk(cfg))
 		},
+		resume: func(cfg Config, r *ckpt.Reader) (simHandle, error) {
+			return resumeDriver(cfg, mk(cfg), r)
+		},
 	}
-}
-
-// resolveShards resolves Config.Shards, expanding the AutoShards
-// sentinel against N and the machine's core count.
-func resolveShards(cfg Config) int {
-	if cfg.Shards == AutoShards {
-		return shard.AutoShards(cfg.N, 0)
-	}
-	return cfg.Shards
 }
 
 // descInit builds the configured initial configuration, deriving the
@@ -188,15 +187,14 @@ func runDesc[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]
 		return Result{}, ierr
 	}
 	var (
-		states    []S
-		steps     int64
-		err       error
-		resShards = 1
+		states []S
+		steps  int64
+		err    error
 	)
-	if shards := resolveShards(cfg); shards > 1 {
-		r := shard.New[S](p, init, cfg.Seed, shards, cfg.ShardWorkers)
+	if cfg.Shards > 1 {
+		r := shard.New[S](p, init, cfg.Seed, cfg.Shards, cfg.ShardWorkers)
 		steps, err = r.RunUntilExact(sim.DescCond(d, p), cfg.MaxInteractions)
-		states, resShards = r.States(), r.Shards()
+		states = r.States()
 	} else {
 		r := sim.New[S](p, init, cfg.Seed)
 		steps, err = sim.RunUntilCondT(r, sim.DescCond(d, p), cfg.MaxInteractions)
@@ -207,8 +205,9 @@ func runDesc[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]
 		Interactions: steps,
 		Converged:    err == nil,
 		Exact:        err == nil,
-		Shards:       resShards,
+		Shards:       cfg.Shards,
 		Leader:       d.LeaderOf(states),
+		Config:       resultConfig(cfg),
 	}
 	if d.Resets != nil {
 		res.Resets = d.Resets(p)

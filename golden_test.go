@@ -1,0 +1,143 @@
+package ssrank
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssrank/internal/ckpt"
+)
+
+// goldenConfig is the configuration the committed fixture was taken
+// from: the stable-ranking protocol, N=16, seed 1, interrupted after
+// exactly 1037 interactions.
+func goldenConfig() Config { return Config{N: 16, Seed: 1} }
+
+const goldenSteps = 1037
+
+// TestGoldenCheckpointBytes pins the on-disk checkpoint format against
+// a committed fixture. A checkpoint produced today from the fixture's
+// configuration must be byte-identical to the committed one: any codec
+// or layout change — even one that still round-trips — breaks this
+// test, forcing a deliberate version bump instead of a silent format
+// drift that would orphan previously saved checkpoints.
+func TestGoldenCheckpointBytes(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "stable_n16_seed1_step1037.sscp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSimulation(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(goldenSteps)
+	got, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("checkpoint bytes drifted from the golden fixture (%d bytes, fixture %d); if the format change is intentional, bump the checkpoint version and regenerate the fixture", len(got), len(want))
+	}
+}
+
+// TestGoldenCheckpointDecodes walks the fixture's header field by
+// field with the ckpt reader, asserting the documented layout: magic,
+// version, identity fields, fault-stream state, engine kind and
+// progress counters. This is the one test that reads the format
+// directly rather than through ResumeSimulation, so a decoder written
+// against DESIGN.md alone can be checked against it.
+func TestGoldenCheckpointDecodes(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "stable_n16_seed1_step1037.sscp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ckpt.NewReader(data)
+	r.Expect([]byte(ckptMagic))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Uvarint(); v != ckptVersion {
+		t.Fatalf("version %d, want %d", v, ckptVersion)
+	}
+	if p := r.String(); p != string(StableRanking) {
+		t.Fatalf("protocol %q", p)
+	}
+	if init := r.String(); init != "fresh" {
+		t.Fatalf("init %q", init)
+	}
+	if n := r.Uvarint(); n != 16 {
+		t.Fatalf("n %d", n)
+	}
+	if seed := r.U64(); seed != 1 {
+		t.Fatalf("seed %d", seed)
+	}
+	if eps := r.U64(); eps != math.Float64bits(1.0) {
+		t.Fatalf("epsilon bits %#x", eps)
+	}
+	if shards := r.Uvarint(); shards != 1 {
+		t.Fatalf("shards %d", shards)
+	}
+	for i := 0; i < 4; i++ {
+		r.U64() // fault rng words: opaque, but must be present
+	}
+	if kind := r.Uvarint(); kind != ckptKindSerial {
+		t.Fatalf("kind %d, want serial (%d)", kind, ckptKindSerial)
+	}
+	if hit := r.Varint(); hit != -1 {
+		t.Fatalf("hit %d, want -1 (Step invalidates the exact hit)", hit)
+	}
+	if steps := r.Varint(); steps != goldenSteps {
+		t.Fatalf("steps %d, want %d", steps, goldenSteps)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() == 0 {
+		t.Fatal("no pair-stream or protocol payload after the header")
+	}
+}
+
+// TestGoldenCheckpointResumes proves the committed bytes are live, not
+// just well-formed: resuming the fixture and running to stability
+// yields exactly the Result of an uninterrupted Run.
+func TestGoldenCheckpointResumes(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "stable_n16_seed1_step1037.sscp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ResumeSimulation(goldenConfig(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Interactions() != goldenSteps {
+		t.Fatalf("resumed at %d interactions, want %d", s.Interactions(), goldenSteps)
+	}
+	want, err := Run(goldenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.RunUntilStable(want.Config.MaxInteractions) {
+		t.Fatal("resumed run did not stabilize")
+	}
+	got := s.Result()
+	if got.Interactions != want.Interactions {
+		t.Fatalf("resumed hit %d, uninterrupted run hit %d", got.Interactions, want.Interactions)
+	}
+	if !equalRanks(got.Ranks, want.Ranks) {
+		t.Fatalf("resumed ranks %v, want %v", got.Ranks, want.Ranks)
+	}
+}
+
+func equalRanks(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

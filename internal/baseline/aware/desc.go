@@ -24,10 +24,12 @@ func Describe() proto.Descriptor[State, *Protocol] {
 			}
 			return nil
 		},
-		Valid:       Valid,
-		Rank:        RankOf,
-		Resets:      (*Protocol).Resets,
-		RandomState: (*Protocol).RandomState,
-		Budget:      proto.BudgetN2LogN(3000),
+		Valid:          Valid,
+		Rank:           RankOf,
+		Resets:         (*Protocol).Resets,
+		RandomState:    (*Protocol).RandomState,
+		MarshalState:   MarshalState,
+		UnmarshalState: UnmarshalState,
+		Budget:         proto.BudgetN2LogN(3000),
 	}
 }

@@ -1,0 +1,58 @@
+package aware
+
+import (
+	"fmt"
+
+	"ssrank/internal/ckpt"
+)
+
+// MarshalState appends the protocol's full mutable run state to w: the
+// agent slab field-by-field in agent order, then the reset counter.
+// Field order is the schema (proto.Descriptor.MarshalState).
+func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
+	w.Uvarint(uint64(len(states)))
+	for i := range states {
+		s := &states[i]
+		w.Uvarint(uint64(s.Mode))
+		w.Uvarint(uint64(s.Coin))
+		w.Varint(int64(s.Rank))
+		w.Varint(int64(s.Next))
+		w.Varint(int64(s.Alive))
+		w.Varint(int64(s.ResetCount))
+		w.Varint(int64(s.DelayCount))
+		w.Varint(int64(s.LECount))
+		w.Varint(int64(s.CoinCount))
+		w.Bool(s.LeaderDone)
+		w.Bool(s.IsLeader)
+	}
+	w.Varint(p.resets.Load())
+}
+
+// UnmarshalState decodes a slab written by MarshalState for the same
+// population size, restoring the reset counter into p.
+func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
+	n := r.Count(p.n)
+	if r.Err() == nil && n != p.n {
+		return nil, fmt.Errorf("aware: checkpoint holds %d agents, protocol expects %d", n, p.n)
+	}
+	states := make([]State, n)
+	for i := range states {
+		s := &states[i]
+		s.Mode = Mode(r.Uvarint())
+		s.Coin = uint8(r.Uvarint())
+		s.Rank = int32(r.Int())
+		s.Next = int32(r.Int())
+		s.Alive = int32(r.Int())
+		s.ResetCount = int32(r.Int())
+		s.DelayCount = int32(r.Int())
+		s.LECount = int32(r.Int())
+		s.CoinCount = int32(r.Int())
+		s.LeaderDone = r.Bool()
+		s.IsLeader = r.Bool()
+	}
+	p.resets.Store(r.Varint())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("aware: %w", err)
+	}
+	return states, nil
+}

@@ -1,0 +1,34 @@
+package cai
+
+import (
+	"fmt"
+
+	"ssrank/internal/ckpt"
+)
+
+// MarshalState appends the agent slab — one label per agent — to w.
+// The protocol is immutable, so the slab is the whole mutable run
+// state (proto.Descriptor.MarshalState).
+func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
+	w.Uvarint(uint64(len(states)))
+	for _, s := range states {
+		w.Varint(int64(s))
+	}
+}
+
+// UnmarshalState decodes a slab written by MarshalState for the same
+// population size.
+func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
+	n := r.Count(p.N())
+	if r.Err() == nil && n != p.N() {
+		return nil, fmt.Errorf("cai: checkpoint holds %d agents, protocol expects %d", n, p.N())
+	}
+	states := make([]State, n)
+	for i := range states {
+		states[i] = State(r.Int())
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cai: %w", err)
+	}
+	return states, nil
+}

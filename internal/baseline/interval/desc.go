@@ -28,6 +28,8 @@ func Describe(epsilon float64) proto.Descriptor[State, *Protocol] {
 		Cond: func(p *Protocol) proto.Condition[State] {
 			return NewDisjointCond(p.M())
 		},
-		Budget: proto.BudgetN2(5000),
+		MarshalState:   MarshalState,
+		UnmarshalState: UnmarshalState,
+		Budget:         proto.BudgetN2(5000),
 	}
 }

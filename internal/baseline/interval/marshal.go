@@ -1,0 +1,36 @@
+package interval
+
+import (
+	"fmt"
+
+	"ssrank/internal/ckpt"
+)
+
+// MarshalState appends the agent slab — each agent's owned interval —
+// to w. The protocol is immutable, so the slab is the whole mutable
+// run state (proto.Descriptor.MarshalState).
+func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
+	w.Uvarint(uint64(len(states)))
+	for i := range states {
+		w.Varint(int64(states[i].Lo))
+		w.Varint(int64(states[i].Hi))
+	}
+}
+
+// UnmarshalState decodes a slab written by MarshalState for the same
+// population size.
+func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
+	n := r.Count(p.n)
+	if r.Err() == nil && n != p.n {
+		return nil, fmt.Errorf("interval: checkpoint holds %d agents, protocol expects %d", n, p.n)
+	}
+	states := make([]State, n)
+	for i := range states {
+		states[i].Lo = int32(r.Int())
+		states[i].Hi = int32(r.Int())
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("interval: %w", err)
+	}
+	return states, nil
+}

@@ -20,8 +20,10 @@ func Describe() proto.Descriptor[State, *Protocol] {
 			}
 			return nil
 		},
-		Valid:  Valid,
-		Rank:   RankOf,
-		Budget: proto.BudgetN2LogN(3000),
+		Valid:          Valid,
+		Rank:           RankOf,
+		MarshalState:   MarshalState,
+		UnmarshalState: UnmarshalState,
+		Budget:         proto.BudgetN2LogN(3000),
 	}
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"ssrank/internal/ckpt"
+)
+
+// MarshalState appends the agent slab to w field-by-field in agent
+// order, the leader-election sub-state inlined. The protocol itself is
+// immutable, so the slab is the whole mutable run state. Field order
+// is the schema (proto.Descriptor.MarshalState).
+func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
+	w.Uvarint(uint64(len(states)))
+	for i := range states {
+		s := &states[i]
+		w.Uvarint(uint64(s.Kind))
+		w.Varint(int64(s.Rank))
+		w.Varint(int64(s.Phase))
+		w.Varint(int64(s.Wait))
+		w.Uvarint(uint64(s.LE.Coin))
+		w.Bool(s.LE.Contender)
+		w.Bool(s.LE.InLottery)
+		w.Varint(int64(s.LE.Level))
+		w.Varint(int64(s.LE.SigBits))
+		w.Varint(int64(s.LE.Sig))
+		w.Varint(int64(s.LE.MaxLevel))
+		w.Varint(int64(s.LE.MaxSig))
+		w.Bool(s.LE.Done)
+		w.Varint(int64(s.LE.DoneCtr))
+	}
+}
+
+// UnmarshalState decodes a slab written by MarshalState for the same
+// population size.
+func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
+	n := r.Count(p.N())
+	if r.Err() == nil && n != p.N() {
+		return nil, fmt.Errorf("core: checkpoint holds %d agents, protocol expects %d", n, p.N())
+	}
+	states := make([]State, n)
+	for i := range states {
+		s := &states[i]
+		s.Kind = Kind(r.Uvarint())
+		s.Rank = int32(r.Int())
+		s.Phase = int32(r.Int())
+		s.Wait = int32(r.Int())
+		s.LE.Coin = uint8(r.Uvarint())
+		s.LE.Contender = r.Bool()
+		s.LE.InLottery = r.Bool()
+		s.LE.Level = int16(r.Int())
+		s.LE.SigBits = int16(r.Int())
+		s.LE.Sig = int32(r.Int())
+		s.LE.MaxLevel = int16(r.Int())
+		s.LE.MaxSig = int32(r.Int())
+		s.LE.Done = r.Bool()
+		s.LE.DoneCtr = int32(r.Int())
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return states, nil
+}

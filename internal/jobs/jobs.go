@@ -1,0 +1,429 @@
+// Package jobs turns the facade's checkpointable simulations into a
+// concurrent job service: a bounded worker pool draining a FIFO queue
+// of submitted Configs, with ordered per-job event streams (the
+// Replicate OnCommit shape: every subscriber sees the same events in
+// the same order), checkpoint-based preemption when the queue backs
+// up, and a content-addressed result cache.
+//
+// Everything the service layers on top of the facade follows from
+// determinism: a run is a pure function of its canonical Config, so a
+// preempted job can be checkpointed and resumed (even on another
+// worker) without changing its result, and a completed result can be
+// served to every later submission of the same canonical Config
+// without re-execution. The cache key is the stable hash of exactly
+// the fields the trajectory depends on — see Key.
+package jobs
+
+import (
+	"fmt"
+	"sync"
+
+	"ssrank"
+	"ssrank/internal/sim/shard"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	// Queued jobs wait in the FIFO queue (fresh or preempted).
+	Queued State = "queued"
+	// Running jobs hold a worker.
+	Running State = "running"
+	// Done jobs completed; Result is set. A done job may have been
+	// served from the cache without executing (EventCached).
+	Done State = "done"
+	// Failed jobs hit an error (invalid config or a run that exhausted
+	// its interaction budget without converging); Err is set.
+	Failed State = "failed"
+)
+
+// Event types, in the order a job can emit them.
+const (
+	EventQueued    = "queued"    // entered the FIFO queue
+	EventStarted   = "started"   // claimed by a worker
+	EventProgress  = "progress"  // completed a slice; Steps is current
+	EventPreempted = "preempted" // checkpointed and requeued
+	EventCached    = "cached"    // served from the result cache
+	EventDone      = "done"      // completed; Result is attached
+	EventFailed    = "failed"    // errored; Err is attached
+)
+
+// Event is one entry of a job's ordered event log.
+type Event struct {
+	// Seq is the event's position in the job's log, from 0 up.
+	Seq int `json:"seq"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Steps is the job's interaction count when the event fired.
+	Steps int64 `json:"steps,omitempty"`
+	// Result is attached to EventDone.
+	Result *ssrank.Result `json:"result,omitempty"`
+	// Err is attached to EventFailed.
+	Err string `json:"error,omitempty"`
+}
+
+// Job is one submitted run. All fields are immutable after Submit;
+// the mutable lifecycle is read through Status and Events.
+type Job struct {
+	// ID names the job (sequential, unique per Manager).
+	ID string
+	// Config is the canonical configuration the job executes
+	// (ssrank.Config.Normalized of the submitted one).
+	Config ssrank.Config
+	// Key is the job's cache key (Key of the submitted Config).
+	Key string
+
+	m *Manager
+
+	// Guarded by m.mu: jobs are few and their state transitions are
+	// cheap, so one manager-wide lock keeps queue, cache and event
+	// ordering trivially consistent.
+	state  State
+	steps  int64
+	ckpt   []byte
+	result *ssrank.Result
+	err    error
+	events []Event
+	subs   map[chan struct{}]struct{}
+}
+
+// Status returns the job's current lifecycle phase, its interaction
+// count, its Result (Done only) and its error (Failed only).
+func (j *Job) Status() (State, int64, *ssrank.Result, error) {
+	j.m.mu.Lock()
+	defer j.m.mu.Unlock()
+	return j.state, j.steps, j.result, j.err
+}
+
+// EventsSince returns the log entries with Seq >= from. The log is
+// append-only and events are never dropped, so a reader that remembers
+// the next sequence number it expects can always catch up exactly —
+// the pull half of the streaming interface (Watch is the push half).
+func (j *Job) EventsSince(from int) []Event {
+	j.m.mu.Lock()
+	defer j.m.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(j.events) {
+		return nil
+	}
+	return append([]Event(nil), j.events[from:]...)
+}
+
+// Watch returns a channel that receives a (coalesced) signal whenever
+// the job appends events and is closed once the job reaches a terminal
+// state. A streaming reader loops: drain EventsSince(next), block on
+// the channel, repeat; after the channel closes, one final
+// EventsSince drains the tail. Notifications coalesce but the log
+// loses nothing, so a reader slower than the run still sees every
+// event in order. cancel stops watching (safe after close).
+func (j *Job) Watch() (notify <-chan struct{}, cancel func()) {
+	j.m.mu.Lock()
+	defer j.m.mu.Unlock()
+	ch := make(chan struct{}, 1)
+	if j.state == Done || j.state == Failed {
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	return ch, func() {
+		j.m.mu.Lock()
+		defer j.m.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// emit appends an event to the job's log and nudges the watchers.
+// Callers hold m.mu. Terminal events close every subscription.
+func (j *Job) emit(typ string, mut func(*Event)) {
+	ev := Event{Seq: len(j.events), Type: typ, Steps: j.steps}
+	if mut != nil {
+		mut(&ev)
+	}
+	j.events = append(j.events, ev)
+	terminal := typ == EventDone || typ == EventFailed
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already nudged; the reader will catch up from the log
+		}
+		if terminal {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// cacheEntry is a completed run: the deterministic outcome of one
+// canonical Config.
+type cacheEntry struct {
+	result *ssrank.Result
+	err    error
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Workers is the worker-pool size; < 1 means 1.
+	Workers int
+	// SliceInteractions is how many interactions a job may run per
+	// scheduling slice before the manager considers preempting it
+	// (only when other jobs are queued). < 1 picks a default. Sharded
+	// jobs round the slice up to a multiple of their engine's batch
+	// period, keeping checkpoint cuts barrier-aligned so preemption
+	// never changes the trajectory.
+	SliceInteractions int64
+}
+
+// defaultSlice is the default scheduling slice: large enough that
+// small jobs finish in one slice, small enough that a backed-up queue
+// gets service promptly.
+const defaultSlice = 1 << 18
+
+// Manager owns the queue, the worker pool and the result cache.
+type Manager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job
+	jobs    map[string]*Job
+	cache   map[string]cacheEntry
+	slice   int64
+	nextID  int
+	closed  bool
+	wg      sync.WaitGroup
+	started int64 // executions begun (not cache hits); tests read this
+}
+
+// NewManager starts a Manager with cfg.Workers workers.
+func NewManager(cfg Config) *Manager {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.SliceInteractions < 1 {
+		cfg.SliceInteractions = defaultSlice
+	}
+	m := &Manager{
+		jobs:  make(map[string]*Job),
+		cache: make(map[string]cacheEntry),
+		slice: cfg.SliceInteractions,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Close stops the workers. Running jobs are checkpointed back into the
+// queue (state Queued) rather than aborted; queued work is left
+// pending. Close blocks until every worker has exited.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Submit validates and canonicalizes cfg, then either serves the job
+// from the result cache (identical canonical Config already completed
+// — the job is returned in state Done without executing anything) or
+// appends it to the FIFO queue.
+func (m *Manager) Submit(cfg ssrank.Config) (*Job, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	key, err := Key(norm)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("jobs: manager is closed")
+	}
+	j := &Job{
+		ID:     fmt.Sprintf("job-%d", m.nextID),
+		Config: norm,
+		Key:    key,
+		m:      m,
+		state:  Queued,
+		subs:   make(map[chan struct{}]struct{}),
+	}
+	m.nextID++
+	m.jobs[j.ID] = j
+	j.emit(EventQueued, nil)
+	if hit, ok := m.cache[key]; ok {
+		m.finish(j, hit.result, hit.err, true)
+		return j, nil
+	}
+	m.queue = append(m.queue, j)
+	m.cond.Signal()
+	return j, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every job submitted to this manager, in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for i := 0; i < m.nextID; i++ {
+		if j, ok := m.jobs[fmt.Sprintf("job-%d", i)]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Started reports how many job executions (first slices, not resumes
+// or cache hits) the manager has begun — the observable the cache
+// tests assert on.
+func (m *Manager) Started() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.started
+}
+
+// finish records a terminal state, populates the cache, and emits the
+// terminal event. Callers hold m.mu. cached marks results served from
+// the cache rather than computed.
+func (m *Manager) finish(j *Job, res *ssrank.Result, err error, cached bool) {
+	j.result, j.err = res, err
+	if res != nil {
+		j.steps = res.Interactions
+	}
+	if !cached {
+		m.cache[j.Key] = cacheEntry{result: res, err: err}
+	} else {
+		j.emit(EventCached, nil)
+	}
+	if err != nil {
+		j.state = Failed
+		j.emit(EventFailed, func(e *Event) { e.Err = err.Error() })
+		return
+	}
+	j.state = Done
+	j.emit(EventDone, func(e *Event) { e.Result = res })
+}
+
+// worker drains the queue: claim the head job, run it for one slice,
+// then either finish it, or — when other jobs are waiting — checkpoint
+// and requeue it so the queue drains round-robin instead of
+// head-of-line blocking behind a long run.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := m.queue[0]
+		m.queue = m.queue[1:]
+		j.state = Running
+		resume := j.ckpt
+		j.ckpt = nil
+		if resume == nil {
+			m.started++
+		}
+		j.emit(EventStarted, nil)
+		m.mu.Unlock()
+
+		m.run(j, resume)
+	}
+}
+
+// sliceFor rounds the manager's scheduling slice up to the engine's
+// batch period for sharded configs: checkpoint cuts then always land
+// on batch barriers, so a preempted sharded run resumes on exactly the
+// barrier schedule an uninterrupted run would have used (the facade's
+// split-run guarantee needs aligned cuts; see ssrank.Checkpoint).
+func (m *Manager) sliceFor(cfg ssrank.Config) int64 {
+	if cfg.Shards <= 1 {
+		return m.slice
+	}
+	period := int64(shard.BatchPeriod(cfg.N))
+	return (m.slice + period - 1) / period * period
+}
+
+// run executes one scheduling slice of j (resuming from a checkpoint
+// if one was taken) and routes the outcome: done, failed, preempted,
+// or — when the queue is empty and the manager open — immediately
+// another slice.
+func (m *Manager) run(j *Job, resume []byte) {
+	var (
+		sim *ssrank.Simulation
+		err error
+	)
+	if resume != nil {
+		sim, err = ssrank.ResumeSimulation(j.Config, resume)
+	} else {
+		sim, err = ssrank.NewSimulation(j.Config)
+	}
+	if err != nil {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.finish(j, nil, err, false)
+		return
+	}
+	slice := m.sliceFor(j.Config)
+	budget := j.Config.MaxInteractions
+	for {
+		target := sim.Interactions() + slice
+		if target > budget || target < 0 { // < 0: overflow near MaxInt64
+			target = budget
+		}
+		stable := sim.RunUntilStable(target)
+		m.mu.Lock()
+		j.steps = sim.Interactions()
+		switch {
+		case stable:
+			res := sim.Result()
+			m.finish(j, &res, nil, false)
+			m.mu.Unlock()
+			return
+		case sim.Interactions() >= budget:
+			res := sim.Result()
+			err := fmt.Errorf("jobs: %s did not converge within %d interactions", j.Config.Protocol, budget)
+			j.result = &res // partial outcome, for debugging
+			m.finish(j, j.result, err, false)
+			m.mu.Unlock()
+			return
+		case m.closed || len(m.queue) > 0:
+			// Queue backed up (or shutting down): checkpoint, requeue.
+			data, cerr := sim.Checkpoint()
+			if cerr != nil {
+				m.finish(j, nil, cerr, false)
+				m.mu.Unlock()
+				return
+			}
+			j.ckpt = data
+			j.state = Queued
+			j.emit(EventPreempted, nil)
+			m.queue = append(m.queue, j)
+			m.cond.Signal()
+			m.mu.Unlock()
+			return
+		default:
+			j.emit(EventProgress, nil)
+			m.mu.Unlock()
+		}
+	}
+}

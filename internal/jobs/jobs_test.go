@@ -1,0 +1,235 @@
+package jobs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ssrank"
+)
+
+// wait blocks until j reaches a terminal state, failing the test on
+// timeout, and returns the terminal outcome.
+func wait(t *testing.T, j *Job) (State, *ssrank.Result, error) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, _, res, err := j.Status()
+		if st == Done || st == Failed {
+			return st, res, err
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", j.ID, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// eventTypes extracts the type sequence of a job's event log.
+func eventTypes(j *Job) []string {
+	log := j.EventsSince(0)
+	out := make([]string, len(log))
+	for i, ev := range log {
+		out[i] = ev.Type
+	}
+	return out
+}
+
+// TestJobMatchesRun pins the service's ground truth: a job's result —
+// even one computed across preemption cycles — is byte-identical to a
+// direct ssrank.Run of the same Config, serially and sharded.
+func TestJobMatchesRun(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		// A tiny slice forces many preempt/resume cycles even on a
+		// short run whenever another job is queued.
+		m := NewManager(Config{Workers: 1, SliceInteractions: 4096})
+		cfgA := ssrank.Config{N: 64, Seed: 3, Shards: shards}
+		cfgB := ssrank.Config{N: 64, Seed: 4, Shards: shards}
+		a, err := m.Submit(cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Submit(cfgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stA, resA, errA := wait(t, a)
+		stB, resB, _ := wait(t, b)
+		if stA != Done || stB != Done {
+			t.Fatalf("shards=%d: states %s/%s (%v)", shards, stA, stB, errA)
+		}
+		wantA, err := ssrank.Run(cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantB, err := ssrank.Run(cfgB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*resA, wantA) {
+			t.Fatalf("shards=%d: job A diverged from Run:\njob %+v\nrun %+v", shards, *resA, wantA)
+		}
+		if !reflect.DeepEqual(*resB, wantB) {
+			t.Fatalf("shards=%d: job B diverged from Run:\njob %+v\nrun %+v", shards, *resB, wantB)
+		}
+		m.Close()
+	}
+}
+
+// TestCacheHitSkipsExecution re-submits an identical Config and
+// requires the second job to be served from the cache: done
+// immediately, carrying the identical Result, with no second
+// execution started — including when only ShardWorkers differs, since
+// the worker count is not part of the trajectory.
+func TestCacheHitSkipsExecution(t *testing.T) {
+	m := NewManager(Config{Workers: 2})
+	defer m.Close()
+	cfg := ssrank.Config{N: 64, Seed: 7}
+	first, err := m.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res1, _ := wait(t, first)
+
+	again := cfg
+	again.ShardWorkers = 3
+	second, err := m.Submit(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, res2, _ := second.Status()
+	if st != Done {
+		t.Fatalf("re-submit state %s, want immediate %s", st, Done)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("cached result diverged:\nfirst  %+v\nsecond %+v", res1, res2)
+	}
+	if got := eventTypes(second); !reflect.DeepEqual(got, []string{EventQueued, EventCached, EventDone}) {
+		t.Fatalf("cached job events %v", got)
+	}
+	if n := m.Started(); n != 1 {
+		t.Fatalf("%d executions started, want 1 (cache must not re-execute)", n)
+	}
+}
+
+// TestPreemptionRoundRobin submits a long job then a short one on a
+// single worker with a small slice: the long job must be preempted
+// (checkpointed and requeued) so the short job completes first, and
+// the long job must still finish with the exact Run result afterwards.
+func TestPreemptionRoundRobin(t *testing.T) {
+	m := NewManager(Config{Workers: 1, SliceInteractions: 2048})
+	defer m.Close()
+	long, err := m.Submit(ssrank.Config{N: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := m.Submit(ssrank.Config{N: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, res, err := wait(t, short); st != Done {
+		t.Fatalf("short job: %s %v %v", st, res, err)
+	}
+	if st, _, _, _ := long.Status(); st == Done || st == Failed {
+		t.Fatal("long job finished before the short one despite a single worker")
+	}
+	_, resLong, _ := wait(t, long)
+	preempted := false
+	for _, typ := range eventTypes(long) {
+		if typ == EventPreempted {
+			preempted = true
+		}
+	}
+	if !preempted {
+		t.Fatal("long job was never preempted")
+	}
+	want, err := ssrank.Run(ssrank.Config{N: 128, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*resLong, want) {
+		t.Fatalf("preempted job diverged from Run:\njob %+v\nrun %+v", *resLong, want)
+	}
+}
+
+// TestEventStreamOrdered follows a job through the Watch/EventsSince
+// streaming interface and requires a gapless, ordered sequence ending
+// in a terminal event — even though the producer appends events far
+// faster than the reader drains (notifications coalesce, the log
+// loses nothing).
+func TestEventStreamOrdered(t *testing.T) {
+	m := NewManager(Config{Workers: 1, SliceInteractions: 2048})
+	defer m.Close()
+	j, err := m.Submit(ssrank.Config{N: 96, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	notify, cancel := j.Watch()
+	defer cancel()
+	next, last := 0, ""
+	drain := func() {
+		for _, ev := range j.EventsSince(next) {
+			if ev.Seq != next {
+				t.Fatalf("event gap: %d, expected %d", ev.Seq, next)
+			}
+			next = ev.Seq + 1
+			last = ev.Type
+		}
+	}
+	for range notify {
+		drain()
+	}
+	drain() // the tail appended between the last signal and the close
+	if last != EventDone && last != EventFailed {
+		t.Fatalf("stream ended on %q, want a terminal event", last)
+	}
+}
+
+// TestSubmitRejectsInvalid propagates facade validation: an
+// unregistered protocol fails at Submit, not at run time.
+func TestSubmitRejectsInvalid(t *testing.T) {
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	if _, err := m.Submit(ssrank.Config{N: 64, Protocol: "nope"}); err == nil {
+		t.Fatal("invalid protocol accepted")
+	}
+	if _, err := m.Submit(ssrank.Config{N: 1}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+}
+
+// TestKeyStability pins the cache-key semantics: keys are stable
+// across calls, invariant under ShardWorkers and under
+// normalization-equivalent spellings, and sensitive to every
+// trajectory-relevant field.
+func TestKeyStability(t *testing.T) {
+	base := ssrank.Config{N: 64, Seed: 3}
+	k1, err := Key(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key(base)
+	if k1 != k2 {
+		t.Fatal("key is not deterministic")
+	}
+	spelled := ssrank.Config{N: 64, Seed: 3, Protocol: ssrank.StableRanking, Init: "fresh", Epsilon: 1, Shards: 1, ShardWorkers: 9}
+	if k3, _ := Key(spelled); k3 != k1 {
+		t.Fatal("normalization-equivalent configs got different keys")
+	}
+	for name, variant := range map[string]ssrank.Config{
+		"seed":     {N: 64, Seed: 4},
+		"n":        {N: 65, Seed: 3},
+		"protocol": {N: 64, Seed: 3, Protocol: ssrank.Cai},
+		"shards":   {N: 64, Seed: 3, Shards: 4},
+		"budget":   {N: 64, Seed: 3, MaxInteractions: 5},
+		"faults":   {N: 64, Seed: 3, Faults: ssrank.Faults{DropProb: 0.5}},
+	} {
+		kv, err := Key(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kv == k1 {
+			t.Fatalf("%s variant collided with the base key", name)
+		}
+	}
+}

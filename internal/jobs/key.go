@@ -1,0 +1,53 @@
+package jobs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"ssrank"
+	"ssrank/internal/ckpt"
+)
+
+// keyMagic versions the cache-key derivation. Bump it whenever the
+// encoded field set or order changes: a key must never collide across
+// derivations, and stale disk caches (if a deployment adds one) must
+// invalidate rather than alias.
+const keyMagic = "sskey1"
+
+// Key returns the content address of a run: the hex SHA-256 of the
+// canonical binary encoding of every Config field the trajectory
+// depends on — descriptor name, init, population size, seed, ε (IEEE
+// bit pattern), interaction budget, resolved shard count, scheduler
+// and fault model. ShardWorkers is deliberately excluded: the worker
+// count trades wall clock for cores without touching the trajectory,
+// so runs differing only there share one cache slot. Two Configs get
+// equal keys exactly when ssrank guarantees them byte-identical
+// Results.
+//
+// The encoding reuses the checkpoint codec (ckpt) so canonicality —
+// one logical config, one byte string — is inherited rather than
+// re-argued.
+func Key(cfg ssrank.Config) (string, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	var w ckpt.Writer
+	w.Raw([]byte(keyMagic))
+	w.String(string(norm.Protocol))
+	w.String(string(norm.Init))
+	w.Uvarint(uint64(norm.N))
+	w.U64(norm.Seed)
+	w.U64(math.Float64bits(norm.Epsilon))
+	w.Varint(norm.MaxInteractions)
+	w.Uvarint(uint64(norm.Shards))
+	w.String(string(norm.Scheduler))
+	w.U64(math.Float64bits(norm.Faults.DropProb))
+	w.U64(math.Float64bits(norm.Faults.DupProb))
+	w.Varint(int64(norm.Faults.DelayMax))
+	w.U64(math.Float64bits(norm.Faults.ReorderProb))
+	sum := sha256.Sum256(w.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}

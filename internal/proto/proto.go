@@ -21,6 +21,7 @@ package proto
 import (
 	"math"
 
+	"ssrank/internal/ckpt"
 	"ssrank/internal/rng"
 )
 
@@ -121,6 +122,22 @@ type Descriptor[S any, P any] struct {
 	// several times the expected stabilization time, computed in
 	// float64 and clamped (ClampBudget) so large n cannot overflow.
 	Budget func(n int) int64
+
+	// MarshalState appends the protocol's full mutable run state — the
+	// agent state slab plus any protocol-level counters (reset
+	// instrumentation) — to w, in the explicit field-by-field style of
+	// the repo's other binary formats (msgnet.Trace): canonical bytes,
+	// no self-description, field order fixed per checkpoint version.
+	// Together with UnmarshalState it makes a run checkpointable; both
+	// or neither must be set.
+	MarshalState func(p P, states []S, w *ckpt.Writer)
+
+	// UnmarshalState decodes a slab written by MarshalState for the
+	// same protocol parameters, restoring protocol-level counters into
+	// p and returning the reconstructed configuration. It must reject
+	// (via the Reader's sticky error or its own) payloads whose shape
+	// does not match p — a checkpoint is external input.
+	UnmarshalState func(p P, r *ckpt.Reader) ([]S, error)
 }
 
 // Probe is one named scalar projection over full configurations (see

@@ -26,7 +26,11 @@ type PairBatch struct {
 	n                uint64
 	threshN, threshM uint64 // Lemire rejection thresholds for n and n−1
 	i, m             int
-	a, b             [pairBatchCap]int32
+	// snap is the source generator state just before the current batch
+	// was drawn — what State exports so a restored sampler can replay
+	// the refill deterministically (see PairBatchState).
+	snap [4]uint64
+	a, b [pairBatchCap]int32
 }
 
 // NewPairBatch returns a batched pair sampler over [0, n) drawing from
@@ -86,6 +90,7 @@ func (pb *PairBatch) Advance(k int) {
 // unbatched API exactly.
 func (pb *PairBatch) refill() {
 	r := pb.src
+	pb.snap = [4]uint64{r.s0, r.s1, r.s2, r.s3}
 	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
 	un, um := pb.n, pb.n-1
 	tn, tm := pb.threshN, pb.threshM

@@ -1,0 +1,74 @@
+package rng
+
+import "fmt"
+
+// State returns the generator's full internal state: the four 64-bit
+// xoshiro256** words. Together with SetState it makes a stream
+// position exportable — a restored generator emits exactly the draws
+// the original would have emitted next, Jump-derived block positions
+// included (Jump only rewrites the state words, so capturing them
+// captures the block).
+func (r *RNG) State() [4]uint64 {
+	return [4]uint64{r.s0, r.s1, r.s2, r.s3}
+}
+
+// SetState restores a state captured by State. It rejects the all-zero
+// state, which is the one fixed point of the generator and cannot have
+// been produced by State on a valid generator.
+func (r *RNG) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("rng: all-zero state is not a valid xoshiro256** state")
+	}
+	r.s0, r.s1, r.s2, r.s3 = s[0], s[1], s[2], s[3]
+	return nil
+}
+
+// PairBatchState is the exportable position of a PairBatch stream. The
+// sampler prefetches pairBatchCap pairs per refill, so its position is
+// not the source generator's current state alone: the state captured
+// here is the generator as it stood *before* the current batch was
+// drawn, plus how many of the batch's pairs were consumed. Restoring
+// replays the refill — the rejection sampling in refill is
+// deterministic, so the replay reproduces both the buffered pairs and
+// the post-refill generator state exactly.
+type PairBatchState struct {
+	// N is the population size the stream samples over; restoration
+	// into a sampler of a different size is rejected.
+	N int
+	// Src is the source generator state at the last refill (the
+	// current state if no batch has been drawn yet).
+	Src [4]uint64
+	// Consumed is the number of pairs consumed from the current batch.
+	Consumed int
+	// Filled reports whether a batch has been drawn at all.
+	Filled bool
+}
+
+// State captures the sampler's position for later restoration.
+func (pb *PairBatch) State() PairBatchState {
+	if pb.m == 0 {
+		return PairBatchState{N: int(pb.n), Src: pb.src.State()}
+	}
+	return PairBatchState{N: int(pb.n), Src: pb.snap, Consumed: pb.i, Filled: true}
+}
+
+// SetState restores a position captured by State. The sampler resumes
+// emitting exactly the pairs the captured sampler would have emitted
+// next.
+func (pb *PairBatch) SetState(st PairBatchState) error {
+	if st.N != int(pb.n) {
+		return fmt.Errorf("rng: PairBatch state is for population %d, sampler has %d", st.N, pb.n)
+	}
+	if st.Consumed < 0 || st.Consumed > pairBatchCap || (!st.Filled && st.Consumed != 0) {
+		return fmt.Errorf("rng: PairBatch state consumed %d of %d is inconsistent", st.Consumed, pairBatchCap)
+	}
+	if err := pb.src.SetState(st.Src); err != nil {
+		return err
+	}
+	pb.i, pb.m = 0, 0
+	if st.Filled {
+		pb.refill()
+		pb.i = st.Consumed
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package rng
+
+import "testing"
+
+// TestStateKnownAnswer is the known-answer restoration test: a
+// generator restored from a captured state emits exactly the next 10⁴
+// draws the original emits, from a plain position, a Jump-derived
+// block position, and a Clone.
+func TestStateKnownAnswer(t *testing.T) {
+	const draws = 10_000
+
+	check := func(name string, r *RNG) {
+		t.Helper()
+		restored := New(0xdead) // unrelated seed, fully overwritten
+		if err := restored.SetState(r.State()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < draws; i++ {
+			if a, b := r.Uint64(), restored.Uint64(); a != b {
+				t.Fatalf("%s: draw %d diverged: %#x vs %#x", name, i, a, b)
+			}
+		}
+	}
+
+	r := New(42)
+	for i := 0; i < 123; i++ {
+		r.Uint64()
+	}
+	check("mid-stream", r)
+
+	r.Jump()
+	check("post-jump", r) // Jump positions live in the state words
+
+	check("clone", r.Clone()) // Clone and State/SetState must agree
+}
+
+// TestPairBatchStateKnownAnswer restores a prefetching pair sampler at
+// every interesting position — unfilled, mid-batch, refill boundary,
+// fully consumed batch — and requires the next 10⁴ pairs to match the
+// original stream exactly.
+func TestPairBatchStateKnownAnswer(t *testing.T) {
+	const draws = 10_000
+	positions := []struct {
+		name    string
+		consume int
+	}{
+		{"unfilled", 0},
+		{"mid-batch", 137},
+		{"refill-boundary", pairBatchCap},
+		{"second-batch", pairBatchCap + 313},
+	}
+	for _, pos := range positions {
+		pb := NewPairBatch(New(7), 1000)
+		for i := 0; i < pos.consume; i++ {
+			pb.Next()
+		}
+		restored := NewPairBatch(New(0xbeef), 1000)
+		if err := restored.SetState(pb.State()); err != nil {
+			t.Fatalf("%s: %v", pos.name, err)
+		}
+		for i := 0; i < draws; i++ {
+			a1, b1 := pb.Next()
+			a2, b2 := restored.Next()
+			if a1 != a2 || b1 != b2 {
+				t.Fatalf("%s: pair %d diverged: (%d,%d) vs (%d,%d)", pos.name, i, a1, b1, a2, b2)
+			}
+		}
+	}
+}
+
+// TestPairBatchStateWindowAdvance pins that capture composes with the
+// Window/Advance batch interface (the engines' path), not just Next:
+// restoring mid-window resumes on the identical pair sequence.
+func TestPairBatchStateWindowAdvance(t *testing.T) {
+	pb := NewPairBatch(New(11), 64)
+	as, _ := pb.Window()
+	pb.Advance(len(as) - 17) // leave a partial window
+	restored := NewPairBatch(New(5), 64)
+	if err := restored.SetState(pb.State()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3_000; i++ {
+		a1, b1 := pb.Next()
+		a2, b2 := restored.Next()
+		if a1 != a2 || b1 != b2 {
+			t.Fatalf("pair %d diverged after Window/Advance capture: (%d,%d) vs (%d,%d)", i, a1, b1, a2, b2)
+		}
+	}
+}
+
+// TestStateRejects covers the validity checks: the all-zero generator
+// state, population mismatches, and out-of-range consumed counts must
+// all be rejected.
+func TestStateRejects(t *testing.T) {
+	if err := New(1).SetState([4]uint64{}); err == nil {
+		t.Error("all-zero generator state accepted")
+	}
+	pb := NewPairBatch(New(1), 100)
+	if err := pb.SetState(PairBatchState{N: 99, Src: New(1).State()}); err == nil {
+		t.Error("population mismatch accepted")
+	}
+	if err := pb.SetState(PairBatchState{N: 100, Src: New(1).State(), Consumed: pairBatchCap + 1, Filled: true}); err == nil {
+		t.Error("consumed beyond batch capacity accepted")
+	}
+	if err := pb.SetState(PairBatchState{N: 100, Src: New(1).State(), Consumed: 5, Filled: false}); err == nil {
+		t.Error("consumed pairs on an unfilled batch accepted")
+	}
+}

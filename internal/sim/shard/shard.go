@@ -229,13 +229,7 @@ func New[S any, P sim.TouchReporter[S]](p P, states []S, seed uint64, shards, wo
 		r.shards = append(r.shards, shardMeta{lo: lo, hi: hi, pb: rng.NewPairBatch(base.Clone(), hi-lo)})
 	}
 
-	r.batch = n / 2
-	if r.batch < minBatch {
-		r.batch = minBatch
-	}
-	if r.batch > maxBatch {
-		r.batch = maxBatch
-	}
+	r.batch = BatchPeriod(n)
 	return r
 }
 

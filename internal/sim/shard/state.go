@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"fmt"
+
+	"ssrank/internal/rng"
+)
+
+// EngineState is the exportable scheduler position of a sharded
+// Runner: the step counter, the master classification stream, and
+// every shard's private pair stream. Restoring it onto a Runner built
+// with the same (population, seed, shard count) resumes the trajectory
+// exactly — all nondeterminism of the sharded schedule lives in these
+// streams (DESIGN.md §3), so no batch scratch needs to survive a
+// checkpoint: batches never span a Run call boundary.
+//
+// Note the sharded trajectory depends on where batch barriers fall
+// (see the package comment): a resumed run reproduces an uninterrupted
+// run byte-for-byte only if the calls that preceded the checkpoint cut
+// batches at the same boundaries the uninterrupted call sequence
+// would. Checkpointing at a multiple of BatchPeriod(n) preserves the
+// native barrier schedule of RunUntilExact.
+type EngineState struct {
+	// Steps is the number of interactions executed when the state was
+	// captured.
+	Steps int64
+	// Master is the coordinator's classification stream position.
+	Master rng.PairBatchState
+	// Shards holds each shard's private stream position, in shard
+	// order.
+	Shards []rng.PairBatchState
+}
+
+// EngineState captures the Runner's scheduler position.
+func (r *Runner[S, P]) EngineState() EngineState {
+	st := EngineState{
+		Steps:  r.steps,
+		Master: r.master.State(),
+		Shards: make([]rng.PairBatchState, len(r.shards)),
+	}
+	for s := range r.shards {
+		st.Shards[s] = r.shards[s].pb.State()
+	}
+	return st
+}
+
+// SetEngineState restores a position captured by EngineState on a
+// Runner with the same population size and shard count. The caller is
+// responsible for having restored the matching configuration.
+func (r *Runner[S, P]) SetEngineState(st EngineState) error {
+	if len(st.Shards) != len(r.shards) {
+		return fmt.Errorf("shard: engine state has %d shard streams, runner has %d shards", len(st.Shards), len(r.shards))
+	}
+	if err := r.master.SetState(st.Master); err != nil {
+		return fmt.Errorf("shard: master stream: %w", err)
+	}
+	for s := range r.shards {
+		if err := r.shards[s].pb.SetState(st.Shards[s]); err != nil {
+			return fmt.Errorf("shard: shard %d stream: %w", s, err)
+		}
+	}
+	r.steps = st.Steps
+	return nil
+}
+
+// BatchPeriod returns the native barrier period the Runner uses for a
+// population of n agents: n/2 clamped to [minBatch, maxBatch]. It is
+// exported so checkpointing layers can align their cut points with the
+// batch schedule — a sharded run checkpointed at a multiple of
+// BatchPeriod(n) and resumed continues on exactly the barrier schedule
+// an uninterrupted RunUntilExact would have used.
+func BatchPeriod(n int) int {
+	b := n / 2
+	if b < minBatch {
+		b = minBatch
+	}
+	if b > maxBatch {
+		b = maxBatch
+	}
+	return b
+}

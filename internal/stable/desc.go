@@ -41,6 +41,8 @@ func Describe() proto.Descriptor[State, *Protocol] {
 			// instead of importing this package.
 			{Name: "mean_phase", Fn: func(_ *Protocol, states []State) float64 { return MeanPhase(states) }},
 		},
-		Budget: proto.BudgetN2LogN(3000),
+		MarshalState:   MarshalState,
+		UnmarshalState: UnmarshalState,
+		Budget:         proto.BudgetN2LogN(3000),
 	}
 }

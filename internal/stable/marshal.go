@@ -1,0 +1,68 @@
+package stable
+
+import (
+	"fmt"
+
+	"ssrank/internal/ckpt"
+)
+
+// MarshalState appends the protocol's full mutable run state to w: the
+// agent slab field-by-field in agent order, then the reset counters
+// (total, then per reason in ResetReason order). The encoding is
+// canonical and versioned by the enclosing checkpoint format — field
+// order here is the schema (proto.Descriptor.MarshalState).
+func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
+	w.Uvarint(uint64(len(states)))
+	for i := range states {
+		s := &states[i]
+		w.Uvarint(uint64(s.Mode))
+		w.Uvarint(uint64(s.Coin))
+		w.Varint(int64(s.Rank))
+		w.Varint(int64(s.ResetCount))
+		w.Varint(int64(s.DelayCount))
+		w.Varint(int64(s.LECount))
+		w.Varint(int64(s.CoinCount))
+		w.Bool(s.LeaderDone)
+		w.Bool(s.IsLeader)
+		w.Varint(int64(s.Wait))
+		w.Varint(int64(s.Phase))
+		w.Varint(int64(s.Alive))
+	}
+	w.Varint(p.resets.Load())
+	for reason := ResetReason(0); reason < numResetReasons; reason++ {
+		w.Varint(p.resetsByReason[reason].Load())
+	}
+}
+
+// UnmarshalState decodes a slab written by MarshalState for the same
+// population size, restoring the reset counters into p.
+func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
+	n := r.Count(p.n)
+	if r.Err() == nil && n != p.n {
+		return nil, fmt.Errorf("stable: checkpoint holds %d agents, protocol expects %d", n, p.n)
+	}
+	states := make([]State, n)
+	for i := range states {
+		s := &states[i]
+		s.Mode = Mode(r.Uvarint())
+		s.Coin = uint8(r.Uvarint())
+		s.Rank = int32(r.Int())
+		s.ResetCount = int32(r.Int())
+		s.DelayCount = int32(r.Int())
+		s.LECount = int32(r.Int())
+		s.CoinCount = int32(r.Int())
+		s.LeaderDone = r.Bool()
+		s.IsLeader = r.Bool()
+		s.Wait = int32(r.Int())
+		s.Phase = int32(r.Int())
+		s.Alive = int32(r.Int())
+	}
+	p.resets.Store(r.Varint())
+	for reason := ResetReason(0); reason < numResetReasons; reason++ {
+		p.resetsByReason[reason].Store(r.Varint())
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("stable: %w", err)
+	}
+	return states, nil
+}

@@ -1,0 +1,72 @@
+package stable
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ssrank/internal/ckpt"
+	"ssrank/internal/rng"
+	"ssrank/internal/sim"
+)
+
+// TestMarshalStateRoundTrip drives the protocol from a random
+// configuration far enough to accumulate reset instrumentation (the
+// self-stabilization path fires on duplicate ranks), then requires a
+// marshal/unmarshal round trip to restore the slab and every atomic
+// reset counter exactly — total, per-reason breakdown and all — and to
+// re-encode to the identical bytes (the encoding is canonical).
+func TestMarshalStateRoundTrip(t *testing.T) {
+	const n = 48
+	p := New(n, DefaultParams())
+	init := Describe().Init(p, "random", rng.New(5))
+	if init == nil {
+		t.Fatal("random init unsupported")
+	}
+	r := sim.New[State](p, init, 5)
+	r.Run(int64(n) * int64(n) * 40)
+	if p.Resets() == 0 {
+		t.Fatal("run accumulated no resets; the counter round trip is untested")
+	}
+
+	var w ckpt.Writer
+	MarshalState(p, r.States(), &w)
+
+	q := New(n, DefaultParams())
+	states, err := UnmarshalState(q, ckpt.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(states, r.States()) {
+		t.Fatal("restored slab differs from the marshaled one")
+	}
+	if got, want := q.Resets(), p.Resets(); got != want {
+		t.Fatalf("restored %d resets, want %d", got, want)
+	}
+	if got, want := q.ResetBreakdown(), p.ResetBreakdown(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored reset breakdown %v, want %v", got, want)
+	}
+
+	var w2 ckpt.Writer
+	MarshalState(q, states, &w2)
+	if !bytes.Equal(w.Bytes(), w2.Bytes()) {
+		t.Fatal("re-encoding a restored state changed the bytes")
+	}
+}
+
+// TestUnmarshalStateRejects pins the decode-side validation: a slab
+// for a different population size and truncated input both fail
+// instead of yielding a plausible partial state.
+func TestUnmarshalStateRejects(t *testing.T) {
+	p := New(8, DefaultParams())
+	init := Describe().Init(p, "fresh", rng.New(1))
+	var w ckpt.Writer
+	MarshalState(p, init, &w)
+
+	if _, err := UnmarshalState(New(9, DefaultParams()), ckpt.NewReader(w.Bytes())); err == nil {
+		t.Error("population mismatch accepted")
+	}
+	if _, err := UnmarshalState(New(8, DefaultParams()), ckpt.NewReader(w.Bytes()[:w.Len()-2])); err == nil {
+		t.Error("truncated slab accepted")
+	}
+}

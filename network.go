@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ssrank/internal/ckpt"
 	"ssrank/internal/faults"
 	"ssrank/internal/proto"
 	"ssrank/internal/rng"
@@ -158,6 +159,7 @@ func runMsgNetDesc[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor
 		Converged:    rerr == nil,
 		Exact:        false,
 		Leader:       d.LeaderOf(nw.States()),
+		Config:       resultConfig(cfg),
 	}
 	if d.Resets != nil {
 		res.Resets = d.Resets(p)
@@ -284,4 +286,18 @@ func (s *msgSimDriver[S, P]) swap(k int, r *rng.RNG) {
 
 func (s *msgSimDriver[S, P]) duplicate(r *rng.RNG) (int, int, error) {
 	return descDuplicate(s.d, s.nw.States(), r)
+}
+
+func (s *msgSimDriver[S, P]) result() Result {
+	res := descResult(s.d, s.p, s.nw.States(), s.nw.Steps(), -1, 0)
+	res.Rounds = s.nw.Rounds()
+	return res
+}
+
+// marshal rejects checkpointing: the message network's in-flight
+// mailboxes, per-agent protocol phases and fault stream positions are
+// not serializable state, and Result.Exact is never true on this path
+// anyway — see DESIGN.md §8.
+func (s *msgSimDriver[S, P]) marshal(*ckpt.Writer) error {
+	return fmt.Errorf("ssrank: message-network simulations are not checkpointable")
 }

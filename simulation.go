@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 
+	"ssrank/internal/ckpt"
 	"ssrank/internal/faults"
 	"ssrank/internal/proto"
 	"ssrank/internal/rng"
 	"ssrank/internal/sim"
+	"ssrank/internal/sim/shard"
 )
 
 // Snapshot is one observation of a Simulation: the derived quantities
@@ -41,21 +43,27 @@ type Snapshot struct {
 
 // Simulation is a stepwise handle on any registered protocol: run a
 // while, inspect, corrupt, keep running — the API for fault-injection
-// demos and live exploration. It runs on the serial engine (stepwise
-// control is incompatible with batch barriers) — or on the
-// round-based message network when the Config selects a non-uniform
-// Scheduler or non-zero Faults, in which case stepping is
-// round-granular (interaction counts overshoot targets by up to one
-// round) and RunUntilStable stops are polled, not exact.
+// demos, live exploration, and checkpointable long runs. The engine
+// follows the normalized Config exactly as Run does: the serial engine
+// when the config resolves to one shard, the sharded engine above that
+// (stepping is then applied in barrier-synchronized batches, so the
+// trajectory additionally depends on where Step calls cut batches —
+// stepping in multiples of the engine's batch period keeps it on
+// Run's trajectory), or the round-based message network when the
+// Config selects a Scheduler or non-zero Faults, in which case
+// stepping is round-granular (interaction counts overshoot targets by
+// up to one round), RunUntilStable stops are polled, not exact, and
+// the simulation is not checkpointable.
 type Simulation struct {
 	desc  *Descriptor
+	cfg   Config
 	h     simHandle
 	fault *rng.RNG
 }
 
 // NewSimulation starts a population described by cfg (protocol, init,
-// seed, ε — MaxInteractions and Shards are ignored; budgets are per
-// RunUntilStable call and the engine is serial).
+// seed, ε, shard count — MaxInteractions is ignored; budgets are per
+// RunUntilStable call).
 func NewSimulation(cfg Config) (*Simulation, error) {
 	d, cfg, err := normalize(cfg)
 	if err != nil {
@@ -65,11 +73,28 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{desc: d, h: h, fault: rng.New(cfg.Seed ^ 0xfa017)}, nil
+	return &Simulation{desc: d, cfg: cfg, h: h, fault: rng.New(cfg.Seed ^ 0xfa017)}, nil
 }
 
 // Protocol returns the protocol this simulation runs.
 func (s *Simulation) Protocol() Protocol { return s.desc.Protocol }
+
+// Config returns the canonical configuration the simulation executes
+// (Config.Normalized of the Config it was built from).
+func (s *Simulation) Config() Config { return s.cfg }
+
+// Result assembles the run's current outcome in Run's terms: ranks,
+// interaction count, convergence, and the canonical Config that
+// reproduces the run. After a RunUntilStable or Observe call that hit
+// the stop condition on an in-place engine, Interactions is the exact
+// hitting time and Exact is true, matching Run byte for byte; after
+// manual stepping or fault injection the count is the engine position
+// and Exact is false even if the configuration happens to be stable.
+func (s *Simulation) Result() Result {
+	res := s.h.result()
+	res.Config = resultConfig(s.cfg)
+	return res
+}
 
 // Descriptor returns the registered descriptor of the protocol this
 // simulation runs (the caller's own copy, see Describe).
@@ -205,6 +230,34 @@ type simHandle interface {
 	corrupt(k int, r *rng.RNG) error
 	swap(k int, r *rng.RNG)
 	duplicate(r *rng.RNG) (src, dst int, err error)
+	result() Result
+	marshal(w *ckpt.Writer) error
+}
+
+// descResult assembles a Result from a driver's current state — the
+// one projection path shared by the serial and sharded stepwise
+// drivers (Result.Config is stamped by Simulation.Result, which owns
+// the canonical Config). hit is the exact hitting time recorded by the
+// last uninterrupted stop-condition run, or -1.
+func descResult[S any, P any](d proto.Descriptor[S, P], p P, states []S, steps, hit int64, shards int) Result {
+	res := Result{
+		Ranks:        d.Ranks(states),
+		Interactions: steps,
+		Converged:    hit >= 0 || d.Valid(states),
+		Exact:        hit >= 0,
+		Shards:       shards,
+		Leader:       d.LeaderOf(states),
+	}
+	if hit >= 0 {
+		res.Interactions = hit
+	}
+	if d.Resets != nil {
+		res.Resets = d.Resets(p)
+	}
+	if d.ResetBreakdown != nil {
+		res.ResetBreakdown = d.ResetBreakdown(p)
+	}
+	return res
 }
 
 // descSnapshot extracts a Snapshot through a protocol's descriptor —
@@ -252,12 +305,17 @@ func descDuplicate[S any, P any](d proto.Descriptor[S, P], states []S, r *rng.RN
 	return src, dst, nil
 }
 
-// simDriver is the one generic stepwise driver behind Simulation,
-// instantiated per protocol from its descriptor.
+// simDriver is the generic stepwise driver behind Simulation on the
+// serial engine, instantiated per protocol from its descriptor. hit
+// remembers the exact hitting time of the last uninterrupted
+// stop-condition run (-1 otherwise): manual stepping and fault
+// injection invalidate it, since they change the trajectory the hit
+// was exact for.
 type simDriver[S any, P sim.TouchReporter[S]] struct {
-	d proto.Descriptor[S, P]
-	p P
-	r *sim.Runner[S, P]
+	d   proto.Descriptor[S, P]
+	p   P
+	r   *sim.Runner[S, P]
+	hit int64
 }
 
 func newSimDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]) (simHandle, error) {
@@ -266,21 +324,31 @@ func newSimDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[
 	if err != nil {
 		return nil, err
 	}
-	return &simDriver[S, P]{d: d, p: p, r: sim.New[S](p, init, cfg.Seed)}, nil
+	return &simDriver[S, P]{d: d, p: p, r: sim.New[S](p, init, cfg.Seed), hit: -1}, nil
 }
 
-func (s *simDriver[S, P]) n() int       { return s.r.N() }
-func (s *simDriver[S, P]) step(k int64) { s.r.Run(k) }
+func (s *simDriver[S, P]) n() int { return s.r.N() }
+
+func (s *simDriver[S, P]) step(k int64) {
+	s.hit = -1
+	s.r.Run(k)
+}
 
 func (s *simDriver[S, P]) runUntilStable(maxSteps int64) bool {
-	_, err := sim.RunUntilCondT(s.r, sim.DescCond(s.d, s.p), maxSteps)
+	hit, err := sim.RunUntilCondT(s.r, sim.DescCond(s.d, s.p), maxSteps)
+	if err == nil {
+		s.hit = hit
+	}
 	return err == nil
 }
 
 func (s *simDriver[S, P]) observe(every, maxSteps int64, obs func(Snapshot)) {
-	sim.ObserveCondT(s.r, sim.DescCond(s.d, s.p), func(steps int64, states []S) {
+	hit, done := sim.ObserveCondT(s.r, sim.DescCond(s.d, s.p), func(steps int64, states []S) {
 		obs(descSnapshot(s.d, s.p, steps, states))
 	}, every, maxSteps)
+	if done {
+		s.hit = hit
+	}
 }
 
 func (s *simDriver[S, P]) snapshot() Snapshot {
@@ -308,13 +376,160 @@ func (s *simDriver[S, P]) resetBreakdown() map[string]int64 {
 }
 
 func (s *simDriver[S, P]) corrupt(k int, r *rng.RNG) error {
+	s.hit = -1
 	return descCorrupt(s.d, s.p, s.r.States(), k, r)
 }
 
 func (s *simDriver[S, P]) swap(k int, r *rng.RNG) {
+	s.hit = -1
 	faults.Swap(s.r.States(), k, r)
 }
 
 func (s *simDriver[S, P]) duplicate(r *rng.RNG) (int, int, error) {
+	s.hit = -1
 	return descDuplicate(s.d, s.r.States(), r)
+}
+
+func (s *simDriver[S, P]) result() Result {
+	return descResult(s.d, s.p, s.r.States(), s.r.Steps(), s.hit, 1)
+}
+
+func (s *simDriver[S, P]) marshal(w *ckpt.Writer) error {
+	if s.d.MarshalState == nil {
+		return fmt.Errorf("ssrank: protocol %q does not register state serialization", s.d.Name)
+	}
+	st := s.r.EngineState()
+	w.Uvarint(ckptKindSerial)
+	w.Varint(s.hit)
+	w.Varint(st.Steps)
+	writePairState(w, st.Pairs)
+	s.d.MarshalState(s.p, s.r.States(), w)
+	return nil
+}
+
+// shardSimDriver is the sharded counterpart of simDriver: the generic
+// stepwise driver behind Simulation when the normalized Config
+// resolves to more than one shard. Control is batch-granular — Step
+// and the stop-condition runs advance the engine in
+// barrier-synchronized batches, with the final batch of every call
+// truncated to the call's budget — so the trajectory is a pure
+// function of (seed, shard count, sequence of cut points). Stepping in
+// multiples of the engine's batch period keeps the barrier schedule
+// identical to an uninterrupted Run, which is what the checkpoint
+// layer relies on for split-run equivalence.
+type shardSimDriver[S any, P sim.TouchReporter[S]] struct {
+	d   proto.Descriptor[S, P]
+	p   P
+	r   *shard.Runner[S, P]
+	hit int64
+}
+
+func newShardSimDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[S, P]) (simHandle, error) {
+	p := d.New(cfg.N)
+	init, err := descInit(cfg, d, p)
+	if err != nil {
+		return nil, err
+	}
+	r := shard.New[S](p, init, cfg.Seed, cfg.Shards, cfg.ShardWorkers)
+	return &shardSimDriver[S, P]{d: d, p: p, r: r, hit: -1}, nil
+}
+
+func (s *shardSimDriver[S, P]) n() int { return s.r.N() }
+
+func (s *shardSimDriver[S, P]) step(k int64) {
+	s.hit = -1
+	s.r.Run(k)
+}
+
+func (s *shardSimDriver[S, P]) runUntilStable(maxSteps int64) bool {
+	hit, err := s.r.RunUntilExact(sim.DescCond(s.d, s.p), maxSteps)
+	if err == nil {
+		s.hit = hit
+	}
+	return err == nil
+}
+
+// observe samples in windows of `every` interactions, each window
+// executed exactly (RunUntilExact re-arms the tracker per window, so a
+// mid-window hit stops at the hitting time). Window boundaries cut
+// batches, so — as with Step — an observed sharded trajectory matches
+// Run's only when `every` is a multiple of the batch period.
+func (s *shardSimDriver[S, P]) observe(every, maxSteps int64, obs func(Snapshot)) {
+	if every < 1 {
+		every = int64(s.r.N())
+	}
+	obs(s.snapshot())
+	for s.r.Steps() < maxSteps {
+		next := s.r.Steps() + every
+		if next > maxSteps {
+			next = maxSteps
+		}
+		hit, err := s.r.RunUntilExact(sim.DescCond(s.d, s.p), next)
+		if err == nil {
+			s.hit = hit
+			obs(descSnapshot(s.d, s.p, hit, s.r.States()))
+			return
+		}
+		obs(s.snapshot())
+	}
+}
+
+func (s *shardSimDriver[S, P]) snapshot() Snapshot {
+	return descSnapshot(s.d, s.p, s.r.Steps(), s.r.States())
+}
+
+func (s *shardSimDriver[S, P]) interactions() int64 { return s.r.Steps() }
+func (s *shardSimDriver[S, P]) stable() bool        { return s.d.Valid(s.r.States()) }
+func (s *shardSimDriver[S, P]) ranks() []int        { return s.d.Ranks(s.r.States()) }
+func (s *shardSimDriver[S, P]) rankedCount() int    { return s.d.RankedCount(s.r.States()) }
+func (s *shardSimDriver[S, P]) leader() int         { return s.d.LeaderOf(s.r.States()) }
+
+func (s *shardSimDriver[S, P]) resets() int64 {
+	if s.d.Resets == nil {
+		return 0
+	}
+	return s.d.Resets(s.p)
+}
+
+func (s *shardSimDriver[S, P]) resetBreakdown() map[string]int64 {
+	if s.d.ResetBreakdown == nil {
+		return nil
+	}
+	return s.d.ResetBreakdown(s.p)
+}
+
+func (s *shardSimDriver[S, P]) corrupt(k int, r *rng.RNG) error {
+	s.hit = -1
+	return descCorrupt(s.d, s.p, s.r.States(), k, r)
+}
+
+func (s *shardSimDriver[S, P]) swap(k int, r *rng.RNG) {
+	s.hit = -1
+	faults.Swap(s.r.States(), k, r)
+}
+
+func (s *shardSimDriver[S, P]) duplicate(r *rng.RNG) (int, int, error) {
+	s.hit = -1
+	return descDuplicate(s.d, s.r.States(), r)
+}
+
+func (s *shardSimDriver[S, P]) result() Result {
+	return descResult(s.d, s.p, s.r.States(), s.r.Steps(), s.hit, s.r.Shards())
+}
+
+func (s *shardSimDriver[S, P]) marshal(w *ckpt.Writer) error {
+	if s.d.MarshalState == nil {
+		return fmt.Errorf("ssrank: protocol %q does not register state serialization", s.d.Name)
+	}
+	st := s.r.EngineState()
+	w.Uvarint(ckptKindShard)
+	w.Varint(s.hit)
+	w.Varint(st.Steps)
+	writePairState(w, st.Master)
+	w.Uvarint(uint64(len(st.Shards)))
+	for i := range st.Shards {
+		writePairState(w, st.Shards[i])
+	}
+	s.d.MarshalState(s.p, s.r.States(), w)
+	return nil
 }

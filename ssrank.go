@@ -203,6 +203,23 @@ type Result struct {
 	// ResetBreakdown classifies the resets by cause (StableRanking
 	// only).
 	ResetBreakdown map[string]int64
+	// Config is the canonical configuration the run executed: the
+	// submitted Config with defaults filled and the shard count
+	// resolved (Config.Normalized), with ShardWorkers cleared — the
+	// worker count never affects the trajectory, so it is not part of
+	// the reproduction recipe and Result stays byte-identical across
+	// worker counts. Re-running this Config reproduces the Result
+	// exactly: every row of a replication, every cached job result,
+	// carries its own reproduction recipe.
+	Config Config
+}
+
+// resultConfig is the form of a normalized Config stamped onto Result:
+// the execution-only ShardWorkers knob cleared, everything else the
+// canonical form the engines executed.
+func resultConfig(cfg Config) Config {
+	cfg.ShardWorkers = 0
+	return cfg
 }
 
 // ErrNotConverged is wrapped into Run's error when the budget is
@@ -229,9 +246,28 @@ func Run(cfg Config) (Result, error) {
 	return d.run(cfg)
 }
 
-// normalize validates cfg against the registry and fills defaults
-// (protocol, init, ε, budget). It is the single vetting path shared by
-// Run, NewSimulation and Replicate.
+// Normalized returns the canonical form of cfg: defaults filled
+// (protocol, init, ε, budget), the shard count resolved (AutoShards
+// expanded against this machine, clamped to [1, N/2]; 0 when the
+// configuration routes through the message network) — exactly the
+// configuration the engines execute. Two Configs with equal canonical
+// forms modulo ShardWorkers produce byte-identical Results, which is
+// what makes the canonical form a cache key: ShardWorkers trades wall
+// clock for cores only and is excluded from that equivalence.
+//
+// Every entry point (Run, NewSimulation, Replicate) normalizes through
+// this one path, and Result.Config reports the canonical form a run
+// actually executed.
+func (cfg Config) Normalized() (Config, error) {
+	_, c, err := normalize(cfg)
+	return c, err
+}
+
+// normalize validates cfg against the registry and canonicalizes it:
+// defaults filled (protocol, init, ε, budget) and the shard count
+// resolved. It is the single vetting path shared by Run, NewSimulation,
+// ResumeSimulation and Replicate; the returned Config is what the
+// engine layers execute and what Result.Config reports.
 func normalize(cfg Config) (*Descriptor, Config, error) {
 	if cfg.N < 2 {
 		return nil, cfg, fmt.Errorf("ssrank: N must be >= 2, got %d", cfg.N)
@@ -258,7 +294,31 @@ func normalize(cfg Config) (*Descriptor, Config, error) {
 	if cfg.MaxInteractions == 0 {
 		cfg.MaxInteractions = d.DefaultBudget(cfg.N)
 	}
+	cfg.Shards = resolveShards(cfg)
 	return d, cfg, nil
+}
+
+// resolveShards canonicalizes Config.Shards: 0 on the message-network
+// path (which has no shard structure), otherwise the AutoShards
+// sentinel expanded against N and this machine's core count and the
+// result clamped to [1, N/2] — the clamp the sharded engine applies,
+// hoisted into the canonical form so Config.Shards, Result.Shards and
+// the engine's effective count all agree.
+func resolveShards(cfg Config) int {
+	if cfg.messageNetwork() {
+		return 0
+	}
+	s := cfg.Shards
+	if s == AutoShards {
+		s = shard.AutoShards(cfg.N, 0)
+	}
+	if s > cfg.N/2 {
+		s = cfg.N / 2
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // defaultBudget returns the registered default interaction budget for
