@@ -163,6 +163,38 @@ func BenchmarkShardedRun(b *testing.B) {
 	r.Run(int64(b.N))
 }
 
+// Scale benchmarks: the n = 10⁶ and n = 10⁷ regimes the sharded
+// engine exists for (ROADMAP "single-run scale"). Shard counts are
+// fixed (8) rather than auto-derived so ns/op is comparable across
+// machines; workers default to one per CPU. The n = 10⁷ benchmark is
+// the CI scale gate — a regression here means the coordinator stopped
+// being O(S²)-cheap per batch and the large-n experiments quietly
+// lost their headroom.
+
+func BenchmarkUnshardedRun1e6(b *testing.B) {
+	const n = 1_000_000
+	p := stable.New(n, stable.DefaultParams())
+	r := sim.New[stable.State](p, p.InitialStates(), 1)
+	b.ResetTimer()
+	r.Run(int64(b.N))
+}
+
+func BenchmarkShardedRun1e6(b *testing.B) {
+	const n = 1_000_000
+	p := stable.New(n, stable.DefaultParams())
+	r := shard.New[stable.State](p, p.InitialStates(), 1, 8, 0)
+	b.ResetTimer()
+	r.Run(int64(b.N))
+}
+
+func BenchmarkShardedRun1e7(b *testing.B) {
+	const n = 10_000_000
+	p := stable.New(n, stable.DefaultParams())
+	r := shard.New[stable.State](p, p.InitialStates(), 1, 8, 0)
+	b.ResetTimer()
+	r.Run(int64(b.N))
+}
+
 // BenchmarkShardedRunUntilExact1e5 measures the sharded exact-stop
 // path at n = 10⁵: TransitionT touch recording in every batch unit
 // plus the coordinator's barrier fold. b.N interactions from the fresh

@@ -38,12 +38,21 @@ import (
 //	protocol string, init string, n uvarint,
 //	seed u64, epsilon f64 (IEEE bit pattern), shards uvarint
 //	fault stream: 4×u64 (xoshiro256** words)
-//	engine kind uvarint (0 serial, 1 sharded)
+//	engine kind uvarint (0 serial, 2 sharded; 1 is the retired
+//	  pre-alias sharded layout and is rejected)
 //	hit varint (-1 = no exact hit recorded), steps varint
-//	pair streams: master (serial: the only stream), sharded: master +
-//	  shard count uvarint + one per shard; each stream is
-//	  n uvarint, 4×u64 source state, consumed uvarint, filled bool
+//	engine streams:
+//	  serial (kind 0): one pair stream — n uvarint, 4×u64 source
+//	    state, consumed uvarint, filled bool
+//	  sharded (kind 2): master class-label stream 4×u64, shard count
+//	    uvarint + one pair stream per shard (layout as above), cross
+//	    class count uvarint + 4×u64 per class in compact class order
 //	protocol payload: the descriptor's MarshalState section
+//
+// The engine section is versioned by its kind, not by ckptVersion:
+// retiring a scheduler layout mints a new kind and rejects the old one
+// with a targeted error, while blobs of the other engines — and the
+// serial golden fixture in particular — stay byte-stable.
 //
 // Message-network simulations are not checkpointable (their in-flight
 // mailboxes and fault streams are not serializable state); Checkpoint
@@ -53,7 +62,15 @@ const (
 	ckptVersion = 1
 
 	ckptKindSerial = 0
-	ckptKindShard  = 1
+	// ckptKindShardV1 is the retired pre-alias sharded engine section
+	// (master PairBatch + shard streams, no class streams). The
+	// scheduler that consumed it no longer exists, so these blobs name
+	// trajectories this build cannot reproduce: resume rejects them
+	// with a clear error instead of silently diverging.
+	ckptKindShardV1 = 1
+	// ckptKindShard is the alias-classification sharded engine section
+	// (bare master state + shard pair streams + cross-class streams).
+	ckptKindShard = 2
 )
 
 // Checkpoint serializes the simulation's complete state into the
@@ -188,11 +205,13 @@ func resumeDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[
 			return nil, fmt.Errorf("ssrank: checkpoint pair stream: %w", err)
 		}
 		return &simDriver[S, P]{d: d, p: p, r: run, hit: hit}, nil
+	case ckptKindShardV1:
+		return nil, fmt.Errorf("ssrank: checkpoint uses the retired v1 sharded engine layout (pre-alias-classification); its trajectory cannot be resumed by this build — re-run the simulation or resume with a build that predates the alias-table scheduler")
 	case ckptKindShard:
 		if cfg.Shards < 2 {
 			return nil, fmt.Errorf("ssrank: sharded checkpoint, config resolves to %d shard(s)", cfg.Shards)
 		}
-		st := shard.EngineState{Steps: steps, Master: readPairState(r)}
+		st := shard.EngineState{Steps: steps, Master: readRNGState(r)}
 		count := r.Count(cfg.N)
 		if r.Err() == nil && count != cfg.Shards {
 			return nil, fmt.Errorf("ssrank: checkpoint holds %d shard streams, config resolves to %d shards", count, cfg.Shards)
@@ -200,6 +219,14 @@ func resumeDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[
 		st.Shards = make([]rng.PairBatchState, count)
 		for i := range st.Shards {
 			st.Shards[i] = readPairState(r)
+		}
+		nclasses := r.Count(cfg.N)
+		if want := cfg.Shards * (cfg.Shards - 1) / 2; r.Err() == nil && nclasses != want {
+			return nil, fmt.Errorf("ssrank: checkpoint holds %d cross-class streams, %d shards need %d", nclasses, cfg.Shards, want)
+		}
+		st.Classes = make([][4]uint64, nclasses)
+		for i := range st.Classes {
+			st.Classes[i] = readRNGState(r)
 		}
 		p := d.New(cfg.N)
 		states, err := d.UnmarshalState(p, r)
@@ -238,5 +265,24 @@ func readPairState(r *ckpt.Reader) rng.PairBatchState {
 	}
 	st.Consumed = r.Count(math.MaxInt32)
 	st.Filled = r.Bool()
+	return st
+}
+
+// writeRNGState appends a bare xoshiro256** state — the full position
+// of an unbuffered stream (the sharded master and cross-class
+// streams).
+func writeRNGState(w *ckpt.Writer, st [4]uint64) {
+	for _, word := range st {
+		w.U64(word)
+	}
+}
+
+// readRNGState decodes a state written by writeRNGState. Errors stick
+// in r; rng.RNG.SetState rejects the invalid all-zero state.
+func readRNGState(r *ckpt.Reader) [4]uint64 {
+	var st [4]uint64
+	for i := range st {
+		st[i] = r.U64()
+	}
 	return st
 }

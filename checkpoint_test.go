@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 
+	"ssrank/internal/ckpt"
 	"ssrank/internal/sim/shard"
 )
 
@@ -247,5 +249,63 @@ func TestResumeSimulationRejects(t *testing.T) {
 	}
 	if _, err := ms.Checkpoint(); err == nil {
 		t.Error("message-network simulation produced a checkpoint")
+	}
+}
+
+// TestResumeRejectsRetiredShardV1 pins the engine-kind versioning: a
+// blob carrying the retired pre-alias sharded layout (kind 1) names a
+// trajectory this build's scheduler cannot reproduce, so resume must
+// refuse it with a targeted message — not decode it into a plausible
+// but different run. The blob is forged from a current sharded
+// checkpoint by locating the engine-kind byte through a header re-parse
+// (position, not guesswork) and rewriting it to the retired kind.
+func TestResumeRejectsRetiredShardV1(t *testing.T) {
+	cfg := Config{N: 64, Seed: 3, Shards: 4}
+	s, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(1024)
+	data, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the header exactly as ResumeSimulation does; what remains
+	// starts at the engine-kind uvarint.
+	r := ckpt.NewReader(data)
+	r.Expect([]byte("sscp"))
+	r.Uvarint()    // version
+	_ = r.String() // protocol
+	_ = r.String() // init
+	r.Uvarint()    // n
+	r.U64()        // seed
+	r.F64()        // epsilon
+	r.Uvarint()    // shards
+	for i := 0; i < 4; i++ {
+		r.U64() // fault stream
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	kindOff := len(data) - r.Remaining()
+	if data[kindOff] != ckptKindShard {
+		t.Fatalf("engine kind byte is %d, want %d", data[kindOff], ckptKindShard)
+	}
+
+	forged := append([]byte(nil), data...)
+	forged[kindOff] = ckptKindShardV1
+	_, err = ResumeSimulation(cfg, forged)
+	if err == nil {
+		t.Fatal("resume accepted a retired v1 sharded checkpoint")
+	}
+	if !strings.Contains(err.Error(), "retired v1 sharded engine layout") {
+		t.Fatalf("v1 reject error does not identify the retired layout: %v", err)
+	}
+
+	// The unforged blob still resumes: the reject is the kind, not the
+	// surgery.
+	if _, err := ResumeSimulation(cfg, data); err != nil {
+		t.Fatalf("current-kind checkpoint failed to resume: %v", err)
 	}
 }

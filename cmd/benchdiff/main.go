@@ -1,15 +1,24 @@
 // Command benchdiff compares `go test -bench` output against a
-// recorded baseline (BENCH_base.json) and fails on ns/op regressions —
-// the CI guard for the simulator's hot path:
+// recorded baseline (BENCH_base.json) and fails on ns/op and allocs/op
+// regressions — the CI guard for the simulator's hot path:
 //
-//	go test -run '^$' -bench BenchmarkTransition -benchtime=100000x -count=3 . |
+//	go test -run '^$' -bench BenchmarkTransition -benchtime=100000x -count=3 -benchmem . |
 //	    benchdiff -baseline BENCH_base.json -match '^BenchmarkTransition' -threshold 0.35
 //
 // Benchmark output is read from stdin (or -in). With -count > 1 the
-// minimum ns/op per benchmark is compared — the minimum is the
-// least-noisy estimator of the true cost on a shared CI runner.
+// minimum per benchmark is compared — the minimum is the least-noisy
+// estimator of the true cost on a shared CI runner.
 // Benchmarks present in only one of the two sides are reported and
 // skipped; a regression beyond the threshold exits 1.
+//
+// Allocation gating needs -benchmem in the benchmark invocation and an
+// allocs_per_op field in the baseline entry; either side missing means
+// the benchmark is gated on ns/op alone. Because the engines' hot
+// paths are allocation-free by design, the allocs gate carries a small
+// absolute slack (2 allocs/op) on top of the relative threshold, so a
+// 0 → 1 fluke from the runtime does not fail the build while a real
+// allocation regression — the failure mode slab/stream refactors
+// introduce — does.
 //
 // With -warn the diff is reported but never fails the build (exit 0
 // even on regressions; usage and parse errors still exit 2) — the soft
@@ -38,22 +47,37 @@ func main() {
 }
 
 // baseline mirrors the BENCH_seed.json schema (extra fields ignored).
+// AllocsPerOp is a pointer so recorded-as-zero and not-recorded are
+// distinguishable: only recorded entries arm the allocation gate.
 type baseline struct {
 	Description string `json:"description"`
 	Benchmarks  []struct {
-		Name    string  `json:"name"`
-		NsPerOp float64 `json:"ns_per_op"`
+		Name        string   `json:"name"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 }
+
+// benchResult is one benchmark's measured cost: ns/op always, allocs/op
+// only when the input was produced under -benchmem.
+type benchResult struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
+
+// allocSlack is the absolute allocs/op headroom on top of the relative
+// threshold (see the package comment).
+const allocSlack = 2
 
 func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		basePath  = fs.String("baseline", "BENCH_base.json", "baseline JSON with {benchmarks: [{name, ns_per_op}]}")
+		basePath  = fs.String("baseline", "BENCH_base.json", "baseline JSON with {benchmarks: [{name, ns_per_op, allocs_per_op}]}")
 		in        = fs.String("in", "", "benchmark output file (default: stdin)")
 		match     = fs.String("match", "^BenchmarkTransition", "regexp of benchmark names to compare")
-		threshold = fs.Float64("threshold", 0.20, "fail when ns/op exceeds baseline by more than this fraction")
+		threshold = fs.Float64("threshold", 0.20, "fail when ns/op or allocs/op exceeds baseline by more than this fraction")
 		warn      = fs.Bool("warn", false, "report regressions without failing (exit 0): the soft-gate mode")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,9 +100,13 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		return 2
 	}
 	baseNs := map[string]float64{}
+	baseAllocs := map[string]float64{}
 	for _, b := range base.Benchmarks {
 		if re.MatchString(b.Name) {
 			baseNs[b.Name] = b.NsPerOp
+			if b.AllocsPerOp != nil {
+				baseAllocs[b.Name] = *b.AllocsPerOp
+			}
 		}
 	}
 
@@ -121,23 +149,32 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 		cur := current[name]
 		ref, ok := baseNs[name]
 		if !ok {
-			fmt.Fprintf(stdout, "SKIP %-28s %10.1f ns/op (no baseline entry)\n", name, cur)
+			fmt.Fprintf(stdout, "SKIP %-28s %10.1f ns/op (no baseline entry)\n", name, cur.ns)
 			continue
 		}
 		delete(baseNs, name)
-		change := cur/ref - 1
-		logSum += math.Log(cur / ref)
+		change := cur.ns/ref - 1
+		logSum += math.Log(cur.ns / ref)
 		compared++
 		status := "ok  "
 		if change > *threshold {
 			status = "FAIL"
-			if *warn {
-				status = "WARN"
-			}
 			failed = true
 		}
-		fmt.Fprintf(stdout, "%s %-28s %10.1f ns/op vs baseline %10.1f (%+.1f%%, limit +%.0f%%)\n",
-			status, name, cur, ref, 100*change, 100**threshold)
+		note := ""
+		if refAllocs, ok := baseAllocs[name]; ok && cur.hasAllocs {
+			note = fmt.Sprintf(", %.0f allocs/op vs %.0f", cur.allocs, refAllocs)
+			if cur.allocs > refAllocs*(1+*threshold) && cur.allocs > refAllocs+allocSlack {
+				status = "FAIL"
+				failed = true
+				note += " [allocs regression]"
+			}
+		}
+		if status == "FAIL" && *warn {
+			status = "WARN"
+		}
+		fmt.Fprintf(stdout, "%s %-28s %10.1f ns/op vs baseline %10.1f (%+.1f%%, limit +%.0f%%%s)\n",
+			status, name, cur.ns, ref, 100*change, 100**threshold, note)
 	}
 	for name := range baseNs {
 		fmt.Fprintf(stdout, "SKIP %-28s not present in the benchmark output\n", name)
@@ -151,10 +188,10 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 	}
 	if failed {
 		if *warn {
-			fmt.Fprintln(stdout, "benchdiff: ns/op regression beyond threshold (warn mode: not failing)")
+			fmt.Fprintln(stdout, "benchdiff: regression beyond threshold (warn mode: not failing)")
 			return 0
 		}
-		fmt.Fprintln(stdout, "benchdiff: ns/op regression beyond threshold")
+		fmt.Fprintln(stdout, "benchdiff: regression beyond threshold")
 		return 1
 	}
 	return 0
@@ -162,25 +199,40 @@ func run(stdin io.Reader, stdout, stderr io.Writer, args []string) int {
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
-//	BenchmarkTransitionStable-8   1000   675.2 ns/op   0 B/op
+//	BenchmarkTransitionStable-8   1000   675.2 ns/op   16 B/op   2 allocs/op
 //
 // The -8 GOMAXPROCS suffix is stripped so names line up with the
-// baseline's plain benchmark names.
-var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+// baseline's plain benchmark names. The -benchmem columns are optional;
+// without them the line contributes ns/op only.
+var benchLine = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
 
-// parseBench extracts ns/op per benchmark name; repeated runs (from
-// -count > 1) keep the minimum.
-func parseBench(out string) (map[string]float64, error) {
-	res := map[string]float64{}
+// parseBench extracts ns/op (and allocs/op under -benchmem) per
+// benchmark name; repeated runs (from -count > 1) keep the minimum of
+// each metric independently — each minimum is the least-noisy estimate
+// of its own cost.
+func parseBench(out string) (map[string]benchResult, error) {
+	res := map[string]benchResult{}
 	for _, m := range benchLine.FindAllStringSubmatch(out, -1) {
 		name := m[1]
 		var ns float64
 		if _, err := fmt.Sscanf(m[2], "%g", &ns); err != nil {
 			return nil, fmt.Errorf("unparseable ns/op %q for %s", m[2], name)
 		}
-		if old, ok := res[name]; !ok || ns < old {
-			res[name] = ns
+		cur, seen := res[name]
+		if !seen || ns < cur.ns {
+			cur.ns = ns
 		}
+		if m[3] != "" {
+			var allocs float64
+			if _, err := fmt.Sscanf(m[3], "%g", &allocs); err != nil {
+				return nil, fmt.Errorf("unparseable allocs/op %q for %s", m[3], name)
+			}
+			if !cur.hasAllocs || allocs < cur.allocs {
+				cur.allocs = allocs
+				cur.hasAllocs = true
+			}
+		}
+		res[name] = cur
 	}
 	if len(res) == 0 {
 		return nil, fmt.Errorf("no benchmark result lines found in input")

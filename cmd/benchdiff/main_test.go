@@ -11,9 +11,9 @@ const sampleOutput = `goos: linux
 goarch: amd64
 pkg: ssrank
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkTransitionStable-8   	    1000	       700.0 ns/op
-BenchmarkTransitionStable-8   	    1000	       650.5 ns/op
-BenchmarkTransitionCore-8     	    1000	       710 ns/op
+BenchmarkTransitionStable-8   	    1000	       700.0 ns/op	      16 B/op	       3 allocs/op
+BenchmarkTransitionStable-8   	    1000	       650.5 ns/op	      16 B/op	       2 allocs/op
+BenchmarkTransitionCore-8     	    1000	       710 ns/op	       0 B/op	       0 allocs/op
 BenchmarkTransitionCai-8      	    1000	       380 ns/op
 BenchmarkPublicAPI-8          	       1	   3107962 ns/op
 PASS
@@ -25,18 +25,18 @@ func TestParseBenchKeepsMinimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"BenchmarkTransitionStable": 650.5,
-		"BenchmarkTransitionCore":   710,
-		"BenchmarkTransitionCai":    380,
-		"BenchmarkPublicAPI":        3107962,
+	want := map[string]benchResult{
+		"BenchmarkTransitionStable": {ns: 650.5, allocs: 2, hasAllocs: true},
+		"BenchmarkTransitionCore":   {ns: 710, allocs: 0, hasAllocs: true},
+		"BenchmarkTransitionCai":    {ns: 380},
+		"BenchmarkPublicAPI":        {ns: 3107962},
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %v, want %v", got, want)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v (min across -count runs, -N suffix stripped)", name, got[name], ns)
+	for name, res := range want {
+		if got[name] != res {
+			t.Errorf("%s = %+v, want %+v (min across -count runs, -N suffix stripped)", name, got[name], res)
 		}
 	}
 }
@@ -95,6 +95,44 @@ func TestRunFailsOnRegression(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "FAIL BenchmarkTransitionCai") {
 		t.Fatalf("missing FAIL line:\n%s", out.String())
+	}
+}
+
+// TestRunGatesAllocs pins the allocation gate: a benchmark whose ns/op
+// is fine but whose allocs/op regressed beyond threshold + slack fails
+// the build; within the absolute slack it passes (the 0 → small-noise
+// case must never be a CI flake).
+func TestRunGatesAllocs(t *testing.T) {
+	// Stable measures 2 allocs/op in sampleOutput; baseline says 0.
+	// 2 > 0·(1.20) but not > 0+2, so the slack holds it at ok.
+	base := writeBaseline(t, `{"benchmarks": [{"name": "BenchmarkTransitionStable", "ns_per_op": 700.0, "allocs_per_op": 0}]}`)
+	var out, errb strings.Builder
+	code := run(strings.NewReader(sampleOutput), &out, &errb,
+		[]string{"-baseline", base, "-match", "^BenchmarkTransitionStable$", "-threshold", "0.20"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (2 allocs/op is within the absolute slack)\n%s", code, out.String())
+	}
+
+	// A 3-alloc regression from 0 clears both the relative threshold
+	// and the absolute slack: fail, even though ns/op improved.
+	withAllocs := "BenchmarkTransitionStable-8 1000 650.5 ns/op 48 B/op 3 allocs/op\n"
+	out.Reset()
+	code = run(strings.NewReader(withAllocs), &out, &errb,
+		[]string{"-baseline", base, "-match", "^BenchmarkTransitionStable$", "-threshold", "0.20"})
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (3 allocs/op vs 0 baseline)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs regression") {
+		t.Fatalf("missing allocs-regression marker:\n%s", out.String())
+	}
+
+	// Without allocs_per_op in the baseline the gate is ns/op only.
+	noGate := writeBaseline(t, `{"benchmarks": [{"name": "BenchmarkTransitionStable", "ns_per_op": 700.0}]}`)
+	out.Reset()
+	code = run(strings.NewReader(withAllocs), &out, &errb,
+		[]string{"-baseline", noGate, "-match", "^BenchmarkTransitionStable$", "-threshold", "0.20"})
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 without a recorded allocs baseline\n%s", code, out.String())
 	}
 }
 

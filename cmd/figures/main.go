@@ -13,6 +13,9 @@
 //	                                 # CI-adaptive: replicate each loop
 //	                                 # until its 95% CI half-width is
 //	                                 # within 5% of the mean
+//	figures -quick -e E2 -shards 4 -cpuprofile cpu.pb.gz
+//	                                 # profile the sharded engine
+//	                                 # (go tool pprof cpu.pb.gz)
 //
 // Replications stream through the deterministic engine
 // (internal/sim/replicate.ReplicateStream): results commit in trial
@@ -32,6 +35,7 @@ import (
 	"strings"
 
 	"ssrank/internal/expt"
+	"ssrank/internal/prof"
 	"ssrank/internal/sim/shard"
 )
 
@@ -51,8 +55,21 @@ func run() int {
 		precision = flag.Float64("precision", 0, "stop each replication loop once the 95% CI half-width of its statistic falls below this fraction of the mean (0 = fixed trial counts)")
 		maxtrials = flag.Int("maxtrials", 0, "override per-loop replication trial ceilings (0 = generator defaults); raise it to give -precision room")
 		progress  = flag.Bool("progress", false, "stream per-trial replication progress to stderr")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (pprof format)")
+		memprof   = flag.String("memprofile", "", "write an allocation profile to this file after the experiments (pprof format)")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+		}
+	}()
 
 	if *precision < 0 {
 		fmt.Fprintln(os.Stderr, "figures: -precision must be >= 0")

@@ -18,6 +18,11 @@
 //	ssrank -n 64 -scheduler expander       # sparse contact graph
 //	                                       # (expect non-convergence)
 //
+// -cpuprofile/-memprofile write pprof profiles of exactly the work the
+// invocation performs (the DESIGN.md §3 measurements cite these):
+//
+//	ssrank -n 10000000 -shards 8 -cpuprofile cpu.pb.gz
+//
 // -list prints the protocol registry: every registered protocol with
 // its supported inits and default budget at the configured -n.
 //
@@ -33,6 +38,7 @@ import (
 	"strings"
 
 	"ssrank"
+	"ssrank/internal/prof"
 	"ssrank/internal/sim/shard"
 )
 
@@ -82,8 +88,21 @@ func run() int {
 		dup       = flag.Float64("dup", 0, "message-network fault: probability a message is delivered twice")
 		delaymax  = flag.Int("delaymax", 0, "message-network fault: delay each message by up to this many rounds")
 		reorder   = flag.Float64("reorder", 0, "message-network fault: probability a round's delivery queue is shuffled")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (pprof format)")
+		memprof   = flag.String("memprofile", "", "write an allocation profile to this file after the run (pprof format)")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssrank:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "ssrank:", err)
+		}
+	}()
 
 	sched := ssrank.Scheduler(*scheduler)
 	netFaults := ssrank.Faults{DropProb: *drop, DupProb: *dup, DelayMax: *delaymax, ReorderProb: *reorder}

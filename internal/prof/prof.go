@@ -1,0 +1,56 @@
+// Package prof backs the -cpuprofile/-memprofile flags of the CLIs:
+// one call to arm the profiles after flag parsing, one deferred call to
+// flush them after the measured work. Keeping the sequencing here means
+// both binaries profile identically — the DESIGN.md speedup curves cite
+// one-line invocations of either CLI, and the profiles they produce
+// must be comparable.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start arms profiling: an empty path disables the corresponding
+// profile, so Start("", "") is a no-op pair. With a cpuPath, CPU
+// profiling begins immediately. The returned stop function must be
+// called exactly once after the measured work: it finishes the CPU
+// profile and, with a memPath, runs a GC and writes the allocation
+// profile (pprof "allocs" — both in-use and cumulative allocation data)
+// so the snapshot reflects live state rather than collector timing.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,216 @@
+package rng
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AliasTable samples from a fixed discrete distribution in O(1) per
+// draw via the Walker/Vose alias method. It is built once from integer
+// weights and is immutable afterwards, so one table may be shared by
+// any number of goroutines drawing from their own generators.
+//
+// Construction and sampling are integer-exact: the table stores, per
+// column, a 64-bit acceptance threshold derived from the weights by
+// exact 128-bit division — no floating point enters at any stage, so a
+// table built from the same weights samples identically on every
+// platform. One 64-bit draw yields one sample: the high bits select a
+// column, the low bits accept it or fall through to its alias. The
+// only departures from the ideal law are the ~K/2⁶⁴ column-selection
+// and 2⁻⁶⁴ threshold granularity, far below anything a statistical
+// test can resolve.
+//
+// The sharded scheduler builds its table over the shard-pair classes
+// of the interaction multinomial (internal/sim/shard); the weights are
+// ordered-pair counts, so the table is exactly the classification the
+// two-draw scheduler performed per slot, at a fraction of the cost.
+type AliasTable struct {
+	k     uint64
+	thr   []uint64 // accept column i when the draw's low bits are < thr[i]
+	alias []int32
+}
+
+// NewAliasTable builds a sampler over classes 0..len(weights)-1 with
+// probabilities proportional to the weights. Zero weights are legal
+// (the class is never sampled); the total must be positive. It panics
+// if any weight·len(weights) overflows uint64 — callers with weights
+// near 2⁶⁴ must rescale first (the shard classifier's pair-count
+// weights are ≤ n², so n ≤ 10⁹ populations clear the bound with room).
+func NewAliasTable(weights []uint64) *AliasTable {
+	k := uint64(len(weights))
+	if k == 0 {
+		panic("rng: NewAliasTable needs at least one class")
+	}
+	var total uint64
+	for _, w := range weights {
+		if w > 0 && w > (^uint64(0))/k {
+			panic("rng: NewAliasTable weight*K overflows uint64")
+		}
+		s := total + w
+		if s < total {
+			panic("rng: NewAliasTable total weight overflows uint64")
+		}
+		total = s
+	}
+	if total == 0 {
+		panic("rng: NewAliasTable needs a positive total weight")
+	}
+
+	t := &AliasTable{k: k, thr: make([]uint64, k), alias: make([]int32, k)}
+
+	// Vose's method on the scaled residuals w_i·K measured against the
+	// total T: "small" columns (residual < T) take an alias from
+	// "large" ones, transferring exactly the deficit. All arithmetic
+	// stays in uint64 — exact by the overflow guard above.
+	residual := make([]uint64, k)
+	small := make([]int32, 0, k)
+	large := make([]int32, 0, k)
+	for i, w := range weights {
+		residual[i] = w * k
+		if residual[i] < total {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		t.alias[s] = l
+		// Column l donates T - residual[s] of its mass to s's slot.
+		residual[l] -= total - residual[s]
+		if residual[l] < total {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers hold residual == T up to rounding: they accept always.
+	// Self-alias makes the threshold value irrelevant, so saturation
+	// introduces no bias at all.
+	for _, i := range small {
+		t.alias[i] = i
+		t.thr[i] = ^uint64(0)
+	}
+	for _, i := range large {
+		t.alias[i] = i
+		t.thr[i] = ^uint64(0)
+	}
+	// Exact thresholds for the aliased columns: ⌊residual·2⁶⁴/T⌋.
+	for i := range t.thr {
+		if t.alias[i] != int32(i) {
+			q, _ := bits.Div64(residual[i], 0, total)
+			t.thr[i] = q
+		}
+	}
+	return t
+}
+
+// K returns the number of classes.
+func (t *AliasTable) K() int { return int(t.k) }
+
+// Sample maps 64 uniformly random bits to a class: the high bits pick
+// a column, the low bits accept it or take its alias.
+func (t *AliasTable) Sample(u uint64) int {
+	hi, lo := bits.Mul64(u, t.k)
+	if lo >= t.thr[hi] {
+		return int(t.alias[hi])
+	}
+	return int(hi)
+}
+
+// Draw samples one class using the next value of r.
+func (t *AliasTable) Draw(r *RNG) int { return t.Sample(r.Uint64()) }
+
+// CountsInto draws b iid class labels from r and accumulates them into
+// counts (which must have exactly K entries) — the count vector is one
+// Multinomial(b, p) sample. The xoshiro state stays in registers for
+// the whole histogram, so a slot costs one generator step, one 128-bit
+// multiply, and a counter increment: this is the coordinator's entire
+// per-batch classification work in the sharded engine.
+func (t *AliasTable) CountsInto(r *RNG, b int, counts []int32) {
+	if uint64(len(counts)) != t.k {
+		panic(fmt.Sprintf("rng: CountsInto over %d counts, table has %d classes", len(counts), t.k))
+	}
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	thr, alias, k := t.thr, t.alias, t.k
+	for ; b > 0; b-- {
+		v := bits.RotateLeft64(s1*5, 7) * 9
+		tt := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= tt
+		s3 = bits.RotateLeft64(s3, 45)
+		hi, lo := bits.Mul64(v, k)
+		if lo >= thr[hi] {
+			hi = uint64(alias[hi])
+		}
+		counts[hi]++
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// Uniform is a sampler over [0, n) with the Lemire rejection threshold
+// precomputed at construction — the draw-for-draw equivalent of
+// RNG.Intn without the per-call modulo. Batch units that draw many
+// indices over a fixed range (the cross-class endpoint draws of the
+// sharded engine) pay the division once instead of per draw. The zero
+// value is not usable; construct with NewUniform.
+type Uniform struct {
+	n, thresh uint64
+}
+
+// NewUniform returns a sampler over [0, n). It panics if n <= 0.
+func NewUniform(n int) Uniform {
+	if n <= 0 {
+		panic("rng: NewUniform called with n <= 0")
+	}
+	un := uint64(n)
+	return Uniform{n: un, thresh: -un % un}
+}
+
+// N returns the range size.
+func (u Uniform) N() int { return int(u.n) }
+
+// Draw returns a uniformly random int in [0, n), consuming values from
+// r. It accepts and rejects exactly the draws RNG.Intn(n) would, so
+// the two are stream-interchangeable.
+func (u Uniform) Draw(r *RNG) int {
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), u.n)
+		if lo >= u.thresh {
+			return int(hi)
+		}
+	}
+}
+
+// FillInto fills dst with iid uniform indices over [0, n), consuming
+// values from r in Draw order (element i's draws precede element
+// i+1's, so a FillInto is stream-equivalent to len(dst) Draws). The
+// xoshiro state stays in registers for the whole fill — the batch
+// counterpart of Draw for units that consume many indices per call,
+// such as the sharded engine's cross-class endpoint draws.
+func (u Uniform) FillInto(r *RNG, dst []int32) {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	n, thresh := u.n, u.thresh
+	for i := range dst {
+		for {
+			v := bits.RotateLeft64(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			hi, lo := bits.Mul64(v, n)
+			if lo >= thresh {
+				dst[i] = int32(hi)
+				break
+			}
+		}
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}

@@ -1,0 +1,177 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAliasMatchesTwoDrawMultinomial is the law test behind the sharded
+// engine's classification rewrite: per-class counts drawn through the
+// alias table must follow the same multinomial the retired two-draw
+// scheme induced — draw a uniform ordered pair of distinct agents, then
+// classify it by the shard partition. The expected class probabilities
+// are derived here by brute-force enumeration over all ordered pairs
+// under the floor partition (an independent derivation from the weight
+// formulas the table is built from), and the alias histogram is tested
+// against them with a chi-square statistic at a ~6σ critical value, so
+// a law break fails loudly while random flake stays out of CI.
+func TestAliasMatchesTwoDrawMultinomial(t *testing.T) {
+	const (
+		n = 60
+		S = 4
+		b = 200_000
+	)
+	shardOf := func(i int) int { return ((i+1)*S - 1) / n }
+
+	// Enumerate the two-draw law: every ordered pair of distinct agents
+	// is equally likely; classify each by its endpoints' shards. Class
+	// ids: intra s → s; cross s→t (s<t forward) → S + idx; reverse →
+	// S + C + idx, matching the engine's counts layout.
+	idx := func(s, u int) int { return s*(2*S-s-1)/2 + (u - s - 1) }
+	const C = S * (S - 1) / 2
+	pairs := make([]int64, S+2*C)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			si, sj := shardOf(i), shardOf(j)
+			switch {
+			case si == sj:
+				pairs[si]++
+			case si < sj:
+				pairs[S+idx(si, sj)]++
+			default:
+				pairs[S+C+idx(sj, si)]++
+			}
+		}
+	}
+
+	// The engine's weights for the same partition.
+	weights := make([]uint64, S+2*C)
+	for s := 0; s < S; s++ {
+		lo, hi := s*n/S, (s+1)*n/S
+		ns := uint64(hi - lo)
+		weights[s] = ns * (ns - 1)
+		for u := s + 1; u < S; u++ {
+			nt := uint64((u+1)*n/S - u*n/S)
+			weights[S+idx(s, u)] = ns * nt
+			weights[S+C+idx(s, u)] = ns * nt
+		}
+	}
+	var total int64
+	for k, w := range weights {
+		if int64(w) != pairs[k] {
+			t.Fatalf("class %d: weight %d, two-draw enumeration counts %d pairs", k, w, pairs[k])
+		}
+		total += pairs[k]
+	}
+	if total != int64(n)*int64(n-1) {
+		t.Fatalf("enumerated %d ordered pairs, want %d", total, int64(n)*int64(n-1))
+	}
+
+	counts := make([]int32, len(weights))
+	NewAliasTable(weights).CountsInto(New(0xa11a5), b, counts)
+
+	// Chi-square against the enumerated probabilities. Critical value
+	// via the Wilson–Hilferty cube approximation at z = 6 (~1e-9 one
+	// sided): flake-free for CI, tight enough that swapping any two
+	// class weights fails by orders of magnitude.
+	chi2 := 0.0
+	for k := range counts {
+		exp := float64(b) * float64(pairs[k]) / float64(total)
+		d := float64(counts[k]) - exp
+		chi2 += d * d / exp
+	}
+	df := float64(len(weights) - 1)
+	crit := df * math.Pow(1-2/(9*df)+6*math.Sqrt(2/(9*df)), 3)
+	if chi2 > crit {
+		t.Fatalf("chi-square %.1f exceeds the %.1f critical value (df=%v): alias counts do not follow the two-draw multinomial", chi2, crit, df)
+	}
+}
+
+// TestCountsIntoMatchesDraw pins CountsInto as a pure histogram of
+// Draw: same seed, same number of draws, identical counts and an
+// identical generator state afterwards — the property that lets the
+// engine checkpoint a bare generator state across batches.
+func TestCountsIntoMatchesDraw(t *testing.T) {
+	weights := []uint64{3, 0, 41, 7, 1, 22}
+	tab := NewAliasTable(weights)
+	const b = 4096
+
+	r1, r2 := New(99), New(99)
+	want := make([]int32, len(weights))
+	for i := 0; i < b; i++ {
+		want[tab.Draw(r1)]++
+	}
+	got := make([]int32, len(weights))
+	tab.CountsInto(r2, b, got)
+
+	for k := range want {
+		if want[k] != got[k] {
+			t.Fatalf("class %d: CountsInto %d, Draw loop %d", k, got[k], want[k])
+		}
+	}
+	if r1.State() != r2.State() {
+		t.Fatalf("generator states diverged: %v vs %v", r1.State(), r2.State())
+	}
+	if got[1] != 0 {
+		t.Fatalf("zero-weight class sampled %d times", got[1])
+	}
+}
+
+// TestAliasDegenerate covers the edge shapes Vose construction must
+// survive: a single class, all-equal weights (every column saturates),
+// and an extreme skew.
+func TestAliasDegenerate(t *testing.T) {
+	one := NewAliasTable([]uint64{5})
+	for u := uint64(0); u < 10; u++ {
+		if got := one.Sample(u * 0x1111111111111111); got != 0 {
+			t.Fatalf("single-class table sampled %d", got)
+		}
+	}
+
+	eq := NewAliasTable([]uint64{7, 7, 7, 7})
+	counts := make([]int32, 4)
+	eq.CountsInto(New(3), 40_000, counts)
+	for k, c := range counts {
+		if c < 9_000 || c > 11_000 {
+			t.Fatalf("equal-weight class %d drew %d of 40000", k, c)
+		}
+	}
+
+	skew := NewAliasTable([]uint64{1, 1 << 40})
+	counts = make([]int32, 2)
+	skew.CountsInto(New(4), 100_000, counts)
+	if counts[0] > 3 {
+		t.Fatalf("2⁻⁴⁰-probability class drew %d of 100000", counts[0])
+	}
+}
+
+// TestUniformDrawMatchesIntn pins the stream interchangeability Uniform
+// documents: Draw consumes and maps generator values exactly as
+// RNG.Intn, and FillInto is a batch of Draws.
+func TestUniformDrawMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 1000, 1 << 20} {
+		u := NewUniform(n)
+		r1, r2 := New(uint64(n)), New(uint64(n))
+		for i := 0; i < 200; i++ {
+			if a, b := u.Draw(r1), r2.Intn(n); a != b {
+				t.Fatalf("n=%d draw %d: Uniform %d, Intn %d", n, i, a, b)
+			}
+		}
+
+		r3 := New(uint64(n))
+		dst := make([]int32, 200)
+		u.FillInto(r3, dst)
+		r4 := New(uint64(n))
+		for i, v := range dst {
+			if want := u.Draw(r4); int32(want) != v {
+				t.Fatalf("n=%d fill slot %d: FillInto %d, Draw %d", n, i, v, want)
+			}
+		}
+		if r3.State() != r4.State() {
+			t.Fatalf("n=%d: FillInto and Draw loop left different generator states", n)
+		}
+	}
+}

@@ -7,11 +7,11 @@ func TestAutoShards(t *testing.T) {
 		n, procs, want int
 	}{
 		{1000, 8, 1},        // small n: serial no matter the cores
-		{31999, 64, 1},      // just below the threshold
-		{32768, 1, 1},       // single core: nothing to parallelize
-		{32768, 8, 4},       // slab floor caps below the core count
+		{16383, 64, 1},      // just below the threshold
+		{16384, 1, 1},       // single core: nothing to parallelize
+		{16384, 8, 4},       // slab floor caps below the core count
 		{100_000, 8, 8},     // one shard per core
-		{100_000, 64, 12},   // slab floor: 100000/8192
+		{100_000, 64, 24},   // slab floor: 100000/4096
 		{1_000_000, 16, 16}, // cores are the binding constraint again
 	} {
 		if got := AutoShards(tc.n, tc.procs); got != tc.want {

@@ -70,11 +70,11 @@ func newTouchRec[S any](pos int32, ut, vt bool, a, b int32, sa, sb S) touchRec[S
 // allocated once per Runner and reused by later exact runs.
 func (r *Runner[S, P]) enableTracking() {
 	if r.shadow == nil {
-		n := len(r.shards)
+		n, c := len(r.shards), len(r.classes)
 		r.intraOff = make([]int32, n)
-		r.crossOff = make([]int32, n*n)
+		r.crossOff = make([]int32, c)
 		r.intraRecs = make([][]touchRec[S], n)
-		r.crossRecs = make([][]touchRec[S], n*n)
+		r.crossRecs = make([][]touchRec[S], c)
 		r.shadow = make([]S, len(r.states))
 	}
 	copy(r.shadow, r.states)

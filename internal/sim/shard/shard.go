@@ -1,7 +1,7 @@
 // Package shard implements intra-run parallelism for the population
 // engine: one simulation run partitioned across S shards, each owning a
 // contiguous range of agents, its own slab of the state array, and its
-// own rng.Jump-derived pair stream.
+// own rng.Jump-derived stream.
 //
 // The uniform pairwise scheduler admits an exchangeable-batch
 // formulation: a batch of B sampled pairs may be applied in a
@@ -12,27 +12,37 @@
 // DESIGN.md §3 for the argument and the O(B²/n) collision accounting).
 // The runner exploits that freedom per batch:
 //
-//  1. The coordinator draws B pairs from the master rng.PairBatch and
-//     classifies each as intra-shard (both endpoints in one shard) or
-//     cross-shard. For an intra slot only the shard identity is kept —
-//     the shard re-draws the concrete pair from its own stream, which
-//     is exact: conditioned on landing in shard s, a uniform ordered
-//     pair of distinct agents is a uniform ordered pair of distinct
-//     agents of shard s.
-//  2. Intra phase: every shard applies its intra pairs concurrently,
-//     one worker per shard, drawing from its own PairBatch in slot
-//     order. Shards touch disjoint slabs, so results cannot depend on
-//     worker scheduling.
-//  3. Barrier, then cross reconciliation: cross pairs are grouped by
-//     unordered shard pair ("class") and the classes are played in
-//     tournament rounds — within a round no shard appears in two
-//     classes, so the round's classes run concurrently, each applying
-//     its pairs in sampled order on one worker.
+//  1. The coordinator draws ONE multinomial sample over the shard-pair
+//     classes — S intra classes (both endpoints in shard s) plus
+//     S(S−1) *directional* cross classes (initiator in s, responder in
+//     t, s ≠ t) — from an integer-exact alias table weighted by
+//     ordered-pair counts (n_s(n_s−1) intra, n_s·n_t per direction).
+//     Only the per-class *counts* are published: no concrete pair is
+//     ever drawn or stored by the coordinator, so the serial work per
+//     slot is one 64-bit draw and a counter increment, and the
+//     per-batch cross-pair lists of the earlier design are gone
+//     entirely. Sampling directions as classes also means orientation
+//     never costs a draw downstream.
+//  2. Intra phase: every shard applies its count's worth of pairs
+//     concurrently, one worker per shard, drawing concrete endpoint
+//     pairs from its own stream. Conditioned on landing in shard s, a
+//     uniform ordered pair of distinct agents is a uniform ordered
+//     pair of distinct agents of shard s, so the local draw is exact.
+//     Shards touch disjoint slabs, so results cannot depend on worker
+//     scheduling.
+//  3. Barrier, then cross reconciliation: the two directional classes
+//     of an unordered shard pair {s, t} execute as one unit, and the
+//     units are played in tournament rounds — within a round no shard
+//     appears in two units, so a round's units run concurrently. Each
+//     unit draws its endpoint indices from its own rng.Jump-derived
+//     stream in register-resident batches (rng.Uniform.FillInto):
+//     conditioned on a directional class, a uniform ordered cross pair
+//     is exactly two uniform slab indices.
 //
 // Every step of that schedule is a pure function of (seed, shard
-// count): which pairs the master emits, how they classify, what each
-// shard stream yields, and the class/round grouping. Worker goroutines
-// only ever execute units that touch disjoint memory, so for a fixed
+// count): the class counts the master emits, what each shard and class
+// stream yields, and the class/round grouping. Worker goroutines only
+// ever execute units that touch disjoint memory, so for a fixed
 // (seed, S) the trajectory is byte-identical at any worker count — the
 // repo's determinism invariant extended from replication
 // (internal/sim/replicate) down into a single run.
@@ -62,6 +72,7 @@ import (
 
 	"ssrank/internal/rng"
 	"ssrank/internal/sim"
+	"ssrank/internal/sim/slab"
 )
 
 // maxBatch bounds the pairs classified per barrier period: large
@@ -75,16 +86,20 @@ const maxBatch = 16384
 // of interactions.
 const minBatch = 512
 
-// autoMinN is the population size below which AutoShards stays serial:
-// the classification and barrier overhead only pays for itself once a
-// single trajectory dominates wall clock (DESIGN.md §3.2 — at n ≤ 10⁴
-// the serial engine typically wins outright).
-const autoMinN = 32768
+// autoMinN is the population size below which AutoShards stays serial.
+// Re-derived for the alias-table coordinator (DESIGN.md §3.2): the
+// serial overhead of the sharded engine at S = 4 is ~35% at n = 16384
+// on the recording machine — already recovered by a second core — so
+// the old 32768 floor (set when classification alone cost ~60%) halves.
+const autoMinN = 16384
 
 // autoSlab is the minimum per-shard slab AutoShards maintains, so
 // barrier synchronization stays amortized over meaningful per-shard
-// work.
-const autoSlab = 8192
+// work. Re-derived alongside autoMinN: with counts-only publication
+// the barrier period, not the slab, is the binding overhead, and
+// 4096-agent slabs keep the measured per-batch coordinator share
+// under 10% at the minimum population.
+const autoSlab = 4096
 
 // Auto is the shard-count sentinel meaning "derive the count from the
 // population size and the core count" (see AutoShards). The facade and
@@ -139,18 +154,24 @@ func AutoShards(n, procs int) int {
 type Runner[S any, P sim.TouchReporter[S]] struct {
 	proto   P
 	states  []S
-	master  *rng.PairBatch
+	master  *rng.RNG        // class-label stream: block 0 of the seed
+	alias   *rng.AliasTable // over the S intra + S(S−1)/2 cross classes
 	shards  []shardMeta
+	classes []classMeta
 	workers int
 	batch   int
 	steps   int64
 
-	// Per-batch scratch, reused across batches.
-	intraCount []int     // pairs to apply per shard this batch
-	cross      [][]int32 // per class id s*S+t (s<t): flattened (a, b) pairs in sampled order
-	rounds     [][]int   // tournament schedule: class ids playable concurrently
-	tasks      chan task
-	wg         sync.WaitGroup
+	// counts is the published per-batch multinomial over the S + 2C
+	// directional classes (C = S(S−1)/2 unordered cross units): entry
+	// s < S is shard s's intra count, entry S+c is unit c's
+	// forward count (initiator in the lower shard), entry S+C+c its
+	// reverse count.
+	counts  []int32
+	rounds  [][]int      // tournament schedule: unit ids playable concurrently
+	scratch crossScratch // endpoint-fill buffers for the single-worker path
+	tasks   chan task
+	wg      sync.WaitGroup
 
 	// Exact-stop tracking scratch (exact.go), allocated on the first
 	// RunUntilExact. While tracking is set, applyIntra/applyCross record
@@ -173,6 +194,31 @@ type shardMeta struct {
 	pb     *rng.PairBatch
 }
 
+// classMeta is one cross unit — the unordered shard pair {s, t},
+// s < t, covering both directional classes: the two slab origins,
+// precomputed index samplers over each slab, and the unit's private
+// endpoint stream. A cross pair is drawn entirely locally: one index
+// per slab, orientation already decided by the class multinomial.
+type classMeta struct {
+	s, t     int
+	los, lot int32
+	us, ut   rng.Uniform
+	g        *rng.RNG
+}
+
+// crossChunk is the endpoint-fill granularity of a cross unit: indices
+// are drawn crossChunk pairs at a time with the generator state in
+// registers (rng.Uniform.FillInto), mirroring the intra path's
+// PairBatch prefetch.
+const crossChunk = 512
+
+// crossScratch is one worker's endpoint-fill buffers. Workers own
+// their scratch (the single-worker path owns one on the Runner), so
+// units may share buffers without synchronization.
+type crossScratch struct {
+	as, bs [crossChunk]int32
+}
+
 // task is one unit of deterministic work inside a phase: either a
 // shard's intra pairs or a class's cross pairs.
 type task struct {
@@ -180,14 +226,23 @@ type task struct {
 	idx   int
 }
 
+// classIndex maps the unordered shard pair (s, t), s < t, to its
+// compact class id: pairs enumerate in (s asc, t asc) order, which is
+// also the stream-block and record-slice order.
+func classIndex(s, t, S int) int {
+	return s*(2*S-s-1)/2 + (t - s - 1)
+}
+
 // New returns a sharded Runner over the given initial configuration
 // with the requested shard count and worker count. The states slice is
-// owned by the Runner afterwards. It panics if fewer than two agents
-// are supplied. The shard count is clamped to [1, n/2] (every shard
-// needs ≥ 2 agents for intra-shard pairs); workers < 1 means one per
-// CPU, and more workers than shards are never useful, so the count is
-// clamped to the shard count. The trajectory depends on (seed, clamped
-// shard count) only — never on workers.
+// owned by the Runner afterwards (and may be relocated into a
+// cache-line-aligned slab — read it back via States). It panics if
+// fewer than two agents are supplied. The shard count is clamped to
+// [1, n/2] (every shard needs ≥ 2 agents for intra-shard pairs);
+// workers < 1 means one per CPU, and more workers than shards are
+// never useful, so the count is clamped to the shard count. The
+// trajectory depends on (seed, clamped shard count) only — never on
+// workers.
 func New[S any, P sim.TouchReporter[S]](p P, states []S, seed uint64, shards, workers int) *Runner[S, P] {
 	n := len(states)
 	if n < 2 {
@@ -206,27 +261,67 @@ func New[S any, P sim.TouchReporter[S]](p P, states []S, seed uint64, shards, wo
 		workers = shards
 	}
 
+	nclasses := shards * (shards - 1) / 2
 	r := &Runner[S, P]{
-		proto:      p,
-		states:     states,
-		master:     rng.NewPairBatch(rng.New(seed), n),
-		workers:    workers,
-		intraCount: make([]int, shards),
-		cross:      make([][]int32, shards*shards),
-		rounds:     tournament(shards),
+		proto:   p,
+		states:  slab.Align(states),
+		master:  rng.New(seed),
+		workers: workers,
+		counts:  make([]int32, shards+2*nclasses),
+		classes: make([]classMeta, 0, nclasses),
 	}
 
-	// Shard streams: the master owns stream block 0 of the seed (its
-	// first 2¹²⁸ draws); shard s owns block s+1, reached by jumping a
-	// fresh generator s+1 times. Blocks are guaranteed disjoint, so no
-	// draw is ever shared between the master and a shard or between
-	// two shards. Shard s covers [⌊s·n/S⌋, ⌊(s+1)·n/S⌋) — the floor
-	// partition inverted branch-free by shardOf.
+	// Stream blocks: the master owns block 0 of the seed (its first
+	// 2¹²⁸ draws); shard s owns block s+1; cross class c owns block
+	// S+1+c, classes enumerated in (s asc, t asc) order. Blocks are
+	// reached by jumping a fresh generator and are guaranteed disjoint,
+	// so no draw is ever shared between any two units. Shard s covers
+	// [⌊s·n/S⌋, ⌊(s+1)·n/S⌋) — the floor partition inverted branch-free
+	// by shardOf.
 	base := rng.New(seed)
 	for s := 0; s < shards; s++ {
 		lo, hi := s*n/shards, (s+1)*n/shards
 		base.Jump()
 		r.shards = append(r.shards, shardMeta{lo: lo, hi: hi, pb: rng.NewPairBatch(base.Clone(), hi-lo)})
+	}
+	for s := 0; s < shards; s++ {
+		for t := s + 1; t < shards; t++ {
+			base.Jump()
+			ss, st := &r.shards[s], &r.shards[t]
+			r.classes = append(r.classes, classMeta{
+				s: s, t: t,
+				los: int32(ss.lo), lot: int32(st.lo),
+				us: rng.NewUniform(ss.hi - ss.lo), ut: rng.NewUniform(st.hi - st.lo),
+				g: base.Clone(),
+			})
+		}
+	}
+
+	// The classification alias table, weighted by ordered-pair counts:
+	// shard s owns n_s(n_s−1) intra pairs, each directional class of
+	// unit {s, t} owns n_s·n_t, summing to n(n−1). Weights are ≤ n², so
+	// the table's integer-exact construction holds to n ≈ 10⁹ (see
+	// rng.NewAliasTable).
+	weights := make([]uint64, shards+2*nclasses)
+	for s := range r.shards {
+		ns := uint64(r.shards[s].hi - r.shards[s].lo)
+		weights[s] = ns * (ns - 1)
+	}
+	for c := range r.classes {
+		cl := &r.classes[c]
+		w := uint64(cl.us.N()) * uint64(cl.ut.N())
+		weights[shards+c] = w
+		weights[shards+nclasses+c] = w
+	}
+	r.alias = rng.NewAliasTable(weights)
+
+	// Tournament rounds over the compact class ids.
+	for _, round := range tournament(shards) {
+		ids := make([]int, len(round))
+		for i, c := range round {
+			ids[i] = classIndex(c/shards, c%shards, shards)
+		}
+		r.rounds = append(r.rounds, ids)
 	}
 
 	r.batch = BatchPeriod(n)
@@ -286,12 +381,14 @@ func (r *Runner[S, P]) Run(k int64) {
 	}
 }
 
-// worker executes phase tasks. Every task touches memory disjoint from
-// every other task of its phase, so execution order is free.
+// worker executes phase tasks with its own endpoint-fill scratch.
+// Every task touches memory disjoint from every other task of its
+// phase, so execution order is free.
 func (r *Runner[S, P]) worker(tasks <-chan task) {
+	var scratch crossScratch
 	for t := range tasks {
 		if t.cross {
-			r.applyCross(t.idx)
+			r.applyCross(t.idx, &scratch)
 		} else {
 			r.applyIntra(t.idx)
 		}
@@ -299,31 +396,17 @@ func (r *Runner[S, P]) worker(tasks <-chan task) {
 	}
 }
 
-// runBatch classifies b master pairs and plays the batch's canonical
-// schedule: intra phase, barrier, cross rounds.
+// runBatch draws the batch's class-count multinomial and plays the
+// canonical schedule: intra phase, barrier, cross rounds. The
+// coordinator's serial work is the CountsInto histogram (one draw per
+// slot) plus O(S²) count publication — no per-pair lists, no endpoint
+// draws; workers start the instant the counts land.
 func (r *Runner[S, P]) runBatch(b int) {
 	nshards := len(r.shards)
-	for done := 0; done < b; {
-		as, bs := r.master.Window()
-		m := b - done
-		if m > len(as) {
-			m = len(as)
-		}
-		for i := 0; i < m; i++ {
-			sa, sb := r.shardOf(int(as[i])), r.shardOf(int(bs[i]))
-			if sa == sb {
-				r.intraCount[sa]++
-			} else {
-				if sa > sb {
-					sa, sb = sb, sa
-				}
-				c := sa*nshards + sb
-				r.cross[c] = append(r.cross[c], as[i], bs[i])
-			}
-		}
-		r.master.Advance(m)
-		done += m
+	for i := range r.counts {
+		r.counts[i] = 0
 	}
+	r.alias.CountsInto(r.master, b, r.counts)
 
 	// In tracking mode, assign every unit its canonical offset within
 	// the batch before any work is dispatched: intra shards first in
@@ -332,16 +415,17 @@ func (r *Runner[S, P]) runBatch(b int) {
 	// index i of a unit then carries the globally increasing position
 	// offset+i, letting the barrier fold replay the batch's touches as
 	// one totally ordered interaction sequence.
+	nclasses := len(r.classes)
 	if r.tracking {
 		off := int32(0)
 		for s := 0; s < nshards; s++ {
 			r.intraOff[s] = off
-			off += int32(r.intraCount[s])
+			off += r.counts[s]
 		}
 		for _, round := range r.rounds {
 			for _, c := range round {
 				r.crossOff[c] = off
-				off += int32(len(r.cross[c]) / 2)
+				off += r.counts[nshards+c] + r.counts[nshards+nclasses+c]
 			}
 		}
 	}
@@ -349,13 +433,13 @@ func (r *Runner[S, P]) runBatch(b int) {
 	// Intra phase: one task per shard with work.
 	if r.workers == 1 {
 		for s := 0; s < nshards; s++ {
-			if r.intraCount[s] > 0 {
+			if r.counts[s] > 0 {
 				r.applyIntra(s)
 			}
 		}
 	} else {
 		for s := 0; s < nshards; s++ {
-			if r.intraCount[s] > 0 {
+			if r.counts[s] > 0 {
 				r.wg.Add(1)
 				r.tasks <- task{idx: s}
 			}
@@ -363,20 +447,21 @@ func (r *Runner[S, P]) runBatch(b int) {
 		r.wg.Wait() // batch barrier
 	}
 
-	// Cross reconciliation in tournament rounds: classes of one round
+	// Cross reconciliation in tournament rounds: units of one round
 	// touch disjoint shard pairs, so they run concurrently; pairs
-	// within a class apply in sampled order.
+	// within a unit apply in the unit stream's draw order, forward
+	// direction before reverse.
 	for _, round := range r.rounds {
 		if r.workers == 1 {
 			for _, c := range round {
-				if len(r.cross[c]) > 0 {
-					r.applyCross(c)
+				if r.counts[nshards+c]+r.counts[nshards+nclasses+c] > 0 {
+					r.applyCross(c, &r.scratch)
 				}
 			}
 			continue
 		}
 		for _, c := range round {
-			if len(r.cross[c]) > 0 {
+			if r.counts[nshards+c]+r.counts[nshards+nclasses+c] > 0 {
 				r.wg.Add(1)
 				r.tasks <- task{cross: true, idx: c}
 			}
@@ -384,12 +469,6 @@ func (r *Runner[S, P]) runBatch(b int) {
 		r.wg.Wait()
 	}
 
-	for s := range r.intraCount {
-		r.intraCount[s] = 0
-	}
-	for c := range r.cross {
-		r.cross[c] = r.cross[c][:0]
-	}
 	r.steps += int64(b)
 }
 
@@ -402,7 +481,7 @@ func (r *Runner[S, P]) applyIntra(s int) {
 	sh := &r.shards[s]
 	slab := r.states[sh.lo:sh.hi]
 	if !r.tracking {
-		for cnt := r.intraCount[s]; cnt > 0; {
+		for cnt := int(r.counts[s]); cnt > 0; {
 			as, bs := sh.pb.Window()
 			m := cnt
 			if m > len(as) {
@@ -418,7 +497,7 @@ func (r *Runner[S, P]) applyIntra(s int) {
 	}
 	recs := r.intraRecs[s][:0]
 	lo, pos := int32(sh.lo), r.intraOff[s]
-	for cnt := r.intraCount[s]; cnt > 0; {
+	for cnt := int(r.counts[s]); cnt > 0; {
 		as, bs := sh.pb.Window()
 		m := cnt
 		if m > len(as) {
@@ -438,34 +517,88 @@ func (r *Runner[S, P]) applyIntra(s int) {
 	r.intraRecs[s] = recs
 }
 
-// applyCross applies class c's cross pairs in sampled order, recording
-// touched interactions into the class's private record slice when
-// tracking (see applyIntra).
-func (r *Runner[S, P]) applyCross(c int) {
-	ps := r.cross[c]
+// applyCross applies unit c's cross pairs for this batch — forward
+// direction (initiator in the lower shard) first, then reverse — in
+// chunks of crossChunk: the s-side indices of a chunk are filled from
+// the unit's stream with generator state in registers, then the t-side
+// indices, then the chunk's transitions apply in slot order.
+// Conditioned on a directional class, two uniform slab indices are
+// exactly a uniform ordered cross pair, so no orientation draw is
+// needed. In tracking mode it records touched interactions into the
+// unit's private record slice (see applyIntra); forward pairs precede
+// reverse pairs in the canonical order.
+func (r *Runner[S, P]) applyCross(c int, scratch *crossScratch) {
+	cl := &r.classes[c]
+	fwd := int(r.counts[len(r.shards)+c])
+	rev := int(r.counts[len(r.shards)+len(r.classes)+c])
 	if !r.tracking {
-		for i := 0; i < len(ps); i += 2 {
-			r.proto.Transition(&r.states[ps[i]], &r.states[ps[i+1]])
-		}
+		r.crossDir(cl, fwd, false, scratch)
+		r.crossDir(cl, rev, true, scratch)
 		return
 	}
 	recs := r.crossRecs[c][:0]
 	pos := r.crossOff[c]
-	for i := 0; i < len(ps); i += 2 {
-		a, b := ps[i], ps[i+1]
-		ut, vt := r.proto.TransitionT(&r.states[a], &r.states[b])
-		if ut || vt {
-			recs = append(recs, newTouchRec(pos, ut, vt, a, b, r.states[a], r.states[b]))
-		}
-		pos++
-	}
+	recs, pos = r.crossDirT(cl, fwd, false, scratch, recs, pos)
+	recs, _ = r.crossDirT(cl, rev, true, scratch, recs, pos)
 	r.crossRecs[c] = recs
 }
 
+// crossDir applies cnt pairs of one directional class of unit cl:
+// initiator in shard s when reverse is false, in shard t when true.
+func (r *Runner[S, P]) crossDir(cl *classMeta, cnt int, reverse bool, scratch *crossScratch) {
+	for cnt > 0 {
+		m := cnt
+		if m > crossChunk {
+			m = crossChunk
+		}
+		as, bs := scratch.as[:m], scratch.bs[:m]
+		cl.us.FillInto(cl.g, as)
+		cl.ut.FillInto(cl.g, bs)
+		if reverse {
+			for i := 0; i < m; i++ {
+				r.proto.Transition(&r.states[cl.lot+bs[i]], &r.states[cl.los+as[i]])
+			}
+		} else {
+			for i := 0; i < m; i++ {
+				r.proto.Transition(&r.states[cl.los+as[i]], &r.states[cl.lot+bs[i]])
+			}
+		}
+		cnt -= m
+	}
+}
+
+// crossDirT is crossDir in tracking mode: same draws, same application
+// order, every touched interaction recorded with its canonical batch
+// position.
+func (r *Runner[S, P]) crossDirT(cl *classMeta, cnt int, reverse bool, scratch *crossScratch, recs []touchRec[S], pos int32) ([]touchRec[S], int32) {
+	for cnt > 0 {
+		m := cnt
+		if m > crossChunk {
+			m = crossChunk
+		}
+		as, bs := scratch.as[:m], scratch.bs[:m]
+		cl.us.FillInto(cl.g, as)
+		cl.ut.FillInto(cl.g, bs)
+		for i := 0; i < m; i++ {
+			a, b := cl.los+as[i], cl.lot+bs[i]
+			if reverse {
+				a, b = b, a
+			}
+			ut, vt := r.proto.TransitionT(&r.states[a], &r.states[b])
+			if ut || vt {
+				recs = append(recs, newTouchRec(pos, ut, vt, a, b, r.states[a], r.states[b]))
+			}
+			pos++
+		}
+		cnt -= m
+	}
+	return recs, pos
+}
+
 // shardOf inverts the floor partition: agent i of n belongs to shard
-// ⌊((i+1)·S − 1)/n⌋, branch-free (one multiply and one division on
-// the classification hot path, with no data-dependent branches to
-// mispredict on uniformly random indices).
+// ⌊((i+1)·S − 1)/n⌋. No longer on any hot path (classification draws
+// classes, not agents), it remains the partition's executable
+// specification and the anchor of the partition tests.
 func (r *Runner[S, P]) shardOf(i int) int {
 	return ((i+1)*len(r.shards) - 1) / len(r.states)
 }
@@ -522,11 +655,11 @@ func (r *Runner[S, P]) Observe(obs func(steps int64, states []S), every, maxStep
 }
 
 // tournament returns a round-robin schedule over the unordered shard
-// pairs of S shards (class id s*S+t, s < t): every class appears in
-// exactly one round, and within a round no shard appears twice, so a
-// round's classes may execute concurrently. The circle method yields
-// S−1 rounds for even S and S rounds for odd S (one shard sits out per
-// round).
+// pairs of S shards (sparse id s*S+t, s < t — New converts to compact
+// class ids): every class appears in exactly one round, and within a
+// round no shard appears twice, so a round's classes may execute
+// concurrently. The circle method yields S−1 rounds for even S and S
+// rounds for odd S (one shard sits out per round).
 func tournament(S int) [][]int {
 	if S < 2 {
 		return nil

@@ -7,12 +7,14 @@ import (
 )
 
 // EngineState is the exportable scheduler position of a sharded
-// Runner: the step counter, the master classification stream, and
-// every shard's private pair stream. Restoring it onto a Runner built
-// with the same (population, seed, shard count) resumes the trajectory
-// exactly — all nondeterminism of the sharded schedule lives in these
-// streams (DESIGN.md §3), so no batch scratch needs to survive a
-// checkpoint: batches never span a Run call boundary.
+// Runner: the step counter, the master class-label stream, every
+// shard's private pair stream, and every cross class's private
+// endpoint stream. Restoring it onto a Runner built with the same
+// (population, seed, shard count) resumes the trajectory exactly —
+// all nondeterminism of the sharded schedule lives in these streams
+// (DESIGN.md §3), so no batch scratch needs to survive a checkpoint:
+// batches never span a Run call boundary, and the per-batch class
+// counts are a pure function of the master stream position.
 //
 // Note the sharded trajectory depends on where batch barriers fall
 // (see the package comment): a resumed run reproduces an uninterrupted
@@ -24,22 +26,33 @@ type EngineState struct {
 	// Steps is the number of interactions executed when the state was
 	// captured.
 	Steps int64
-	// Master is the coordinator's classification stream position.
-	Master rng.PairBatchState
-	// Shards holds each shard's private stream position, in shard
-	// order.
+	// Master is the coordinator's class-label stream position — a bare
+	// xoshiro state, since classification consumes one raw draw per
+	// slot (no pair prefetch buffer to account for).
+	Master [4]uint64
+	// Shards holds each shard's private intra-pair stream position, in
+	// shard order.
 	Shards []rng.PairBatchState
+	// Classes holds each cross class's private endpoint stream
+	// position, in compact class order ((s asc, t asc) over s < t).
+	// Cross endpoints are drawn unbuffered, so a bare xoshiro state
+	// captures the position completely.
+	Classes [][4]uint64
 }
 
 // EngineState captures the Runner's scheduler position.
 func (r *Runner[S, P]) EngineState() EngineState {
 	st := EngineState{
-		Steps:  r.steps,
-		Master: r.master.State(),
-		Shards: make([]rng.PairBatchState, len(r.shards)),
+		Steps:   r.steps,
+		Master:  r.master.State(),
+		Shards:  make([]rng.PairBatchState, len(r.shards)),
+		Classes: make([][4]uint64, len(r.classes)),
 	}
 	for s := range r.shards {
 		st.Shards[s] = r.shards[s].pb.State()
+	}
+	for c := range r.classes {
+		st.Classes[c] = r.classes[c].g.State()
 	}
 	return st
 }
@@ -51,12 +64,20 @@ func (r *Runner[S, P]) SetEngineState(st EngineState) error {
 	if len(st.Shards) != len(r.shards) {
 		return fmt.Errorf("shard: engine state has %d shard streams, runner has %d shards", len(st.Shards), len(r.shards))
 	}
+	if len(st.Classes) != len(r.classes) {
+		return fmt.Errorf("shard: engine state has %d class streams, runner has %d cross classes", len(st.Classes), len(r.classes))
+	}
 	if err := r.master.SetState(st.Master); err != nil {
 		return fmt.Errorf("shard: master stream: %w", err)
 	}
 	for s := range r.shards {
 		if err := r.shards[s].pb.SetState(st.Shards[s]); err != nil {
 			return fmt.Errorf("shard: shard %d stream: %w", s, err)
+		}
+	}
+	for c := range r.classes {
+		if err := r.classes[c].g.SetState(st.Classes[c]); err != nil {
+			return fmt.Errorf("shard: class %d stream: %w", c, err)
 		}
 	}
 	r.steps = st.Steps

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"ssrank/internal/rng"
+	"ssrank/internal/sim/slab"
 )
 
 // Protocol is a population protocol over state type S.
@@ -58,13 +59,14 @@ type Runner[S any, P Protocol[S]] struct {
 
 // New returns a Runner over the given initial configuration. The states
 // slice is owned by the Runner afterwards and must not be mutated by the
-// caller. It panics if fewer than two agents are supplied, since the
-// pairwise interaction model is undefined below n = 2.
+// caller (it may be relocated into a cache-line-aligned slab — read it
+// back via States). It panics if fewer than two agents are supplied,
+// since the pairwise interaction model is undefined below n = 2.
 func New[S any, P Protocol[S]](p P, states []S, seed uint64) *Runner[S, P] {
 	if len(states) < 2 {
 		panic(fmt.Sprintf("sim: population needs at least 2 agents, got %d", len(states)))
 	}
-	return &Runner[S, P]{proto: p, states: states, pairs: rng.NewPairBatch(rng.New(seed), len(states))}
+	return &Runner[S, P]{proto: p, states: slab.Align(states), pairs: rng.NewPairBatch(rng.New(seed), len(states))}
 }
 
 // N returns the population size.

@@ -525,10 +525,14 @@ func (s *shardSimDriver[S, P]) marshal(w *ckpt.Writer) error {
 	w.Uvarint(ckptKindShard)
 	w.Varint(s.hit)
 	w.Varint(st.Steps)
-	writePairState(w, st.Master)
+	writeRNGState(w, st.Master)
 	w.Uvarint(uint64(len(st.Shards)))
 	for i := range st.Shards {
 		writePairState(w, st.Shards[i])
+	}
+	w.Uvarint(uint64(len(st.Classes)))
+	for i := range st.Classes {
+		writeRNGState(w, st.Classes[i])
 	}
 	s.d.MarshalState(s.p, s.r.States(), w)
 	return nil
