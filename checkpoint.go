@@ -194,7 +194,7 @@ func resumeDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[
 		if cfg.Shards != 1 {
 			return nil, fmt.Errorf("ssrank: serial checkpoint, config resolves to %d shards", cfg.Shards)
 		}
-		pairs := readPairState(r)
+		pairs := ckpt.ReadPairState(r)
 		p := d.New(cfg.N)
 		states, err := d.UnmarshalState(p, r)
 		if err != nil {
@@ -211,14 +211,14 @@ func resumeDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[
 		if cfg.Shards < 2 {
 			return nil, fmt.Errorf("ssrank: sharded checkpoint, config resolves to %d shard(s)", cfg.Shards)
 		}
-		st := shard.EngineState{Steps: steps, Master: readRNGState(r)}
+		st := shard.EngineState{Steps: steps, Master: ckpt.ReadRNGState(r)}
 		count := r.Count(cfg.N)
 		if r.Err() == nil && count != cfg.Shards {
 			return nil, fmt.Errorf("ssrank: checkpoint holds %d shard streams, config resolves to %d shards", count, cfg.Shards)
 		}
 		st.Shards = make([]rng.PairBatchState, count)
 		for i := range st.Shards {
-			st.Shards[i] = readPairState(r)
+			st.Shards[i] = ckpt.ReadPairState(r)
 		}
 		nclasses := r.Count(cfg.N)
 		if want := cfg.Shards * (cfg.Shards - 1) / 2; r.Err() == nil && nclasses != want {
@@ -226,7 +226,7 @@ func resumeDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[
 		}
 		st.Classes = make([][4]uint64, nclasses)
 		for i := range st.Classes {
-			st.Classes[i] = readRNGState(r)
+			st.Classes[i] = ckpt.ReadRNGState(r)
 		}
 		p := d.New(cfg.N)
 		states, err := d.UnmarshalState(p, r)
@@ -243,46 +243,7 @@ func resumeDriver[S any, P sim.TouchReporter[S]](cfg Config, d proto.Descriptor[
 	}
 }
 
-// writePairState appends a pair-stream position in the checkpoint
-// format's stream layout.
-func writePairState(w *ckpt.Writer, st rng.PairBatchState) {
-	w.Uvarint(uint64(st.N))
-	for _, word := range st.Src {
-		w.U64(word)
-	}
-	w.Uvarint(uint64(st.Consumed))
-	w.Bool(st.Filled)
-}
-
-// readPairState decodes a stream position written by writePairState.
-// Errors stick in r; rng.PairBatch.SetState validates the decoded
-// values against the live sampler.
-func readPairState(r *ckpt.Reader) rng.PairBatchState {
-	var st rng.PairBatchState
-	st.N = r.Count(math.MaxInt32)
-	for i := range st.Src {
-		st.Src[i] = r.U64()
-	}
-	st.Consumed = r.Count(math.MaxInt32)
-	st.Filled = r.Bool()
-	return st
-}
-
-// writeRNGState appends a bare xoshiro256** state — the full position
-// of an unbuffered stream (the sharded master and cross-class
-// streams).
-func writeRNGState(w *ckpt.Writer, st [4]uint64) {
-	for _, word := range st {
-		w.U64(word)
-	}
-}
-
-// readRNGState decodes a state written by writeRNGState. Errors stick
-// in r; rng.RNG.SetState rejects the invalid all-zero state.
-func readRNGState(r *ckpt.Reader) [4]uint64 {
-	var st [4]uint64
-	for i := range st {
-		st[i] = r.U64()
-	}
-	return st
-}
+// The stream-state section codecs (pair-stream and bare rng-state
+// layouts) live in internal/ckpt (WritePairState and friends): the
+// distributed runtime serializes the same sections into its wire
+// frames, so the encodings are shared, not duplicated.

@@ -1,0 +1,58 @@
+// Command ssrank-worker is the worker half of distributed runs: it
+// dials a coordinator's worker listener (ssrankd -workeraddr, or any
+// process driving ssrank.RunDistributed) and executes the shard
+// groups assigned to it. Workers hold no configuration of their own —
+// protocol, population, seed and shard layout all arrive in the
+// assignment frame — so a fleet is just N copies of this binary
+// pointed at one address:
+//
+//	ssrank-worker -coordinator host:8081
+//	ssrank-worker -coordinator /run/ssrank/workers.sock
+//
+// One connection serves many runs; when the coordinator goes away the
+// worker redials until it comes back (-retry), so a fleet survives
+// daemon restarts. Worker crashes are the coordinator's problem, and
+// a survivable one: the dead worker's shards migrate to the remaining
+// fleet and the run's Result bytes do not change.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"ssrank"
+)
+
+func main() {
+	coord := flag.String("coordinator", "", "coordinator worker-listener address (host:port, or a unix socket path containing '/')")
+	retry := flag.Duration("retry", 2*time.Second, "redial delay after a lost coordinator connection (<= 0: exit on disconnect)")
+	flag.Parse()
+	if *coord == "" {
+		log.Fatal("ssrank-worker: -coordinator is required")
+	}
+	network := "tcp"
+	if strings.Contains(*coord, "/") {
+		network = "unix"
+	}
+	for {
+		conn, err := net.Dial(network, *coord)
+		if err != nil {
+			log.Printf("ssrank-worker: dial %s: %v", *coord, err)
+		} else {
+			log.Printf("ssrank-worker: serving %s", *coord)
+			if err := ssrank.ServeWorker(conn); err != nil {
+				log.Printf("ssrank-worker: connection lost: %v", err)
+			} else {
+				log.Print("ssrank-worker: coordinator closed the connection")
+			}
+			conn.Close()
+		}
+		if *retry <= 0 {
+			return
+		}
+		time.Sleep(*retry)
+	}
+}

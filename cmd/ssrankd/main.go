@@ -8,15 +8,24 @@
 //
 //	ssrankd -addr :8080 -workers 4
 //
+// With -workeraddr the daemon additionally listens for ssrank-worker
+// processes and routes jobs whose Config sets Workers > 1 through the
+// connected fleet (ssrank.RunDistributed) — same Result bytes, remote
+// hardware. With -cachedir completed results spill to disk and
+// survive restarts; -cachemax caps the in-memory result cache.
+//
 // API:
 //
 //	POST /jobs            submit a Config (JSON) → {"id": "job-0", ...}
 //	GET  /jobs            list all jobs
-//	GET  /jobs/{id}       job status; result and error once terminal
+//	GET  /jobs/{id}       job status with a progress fraction; result
+//	                      and error once terminal
 //	GET  /jobs/{id}/events  Server-Sent Events: the job's ordered
 //	                      event log (queued, started, progress,
 //	                      preempted, cached, done/failed), replayed
-//	                      from the start and streamed to completion
+//	                      from the start and streamed to completion —
+//	                      progress fires at slice boundaries, for
+//	                      distributed jobs at committed batch barriers
 //	GET  /healthz         liveness probe
 //
 // See the README quickstart for a curl walkthrough.
@@ -27,8 +36,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"strings"
 
 	"ssrank"
 	"ssrank/internal/jobs"
@@ -38,9 +49,34 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 2, "worker pool size")
 	slice := flag.Int64("slice", 0, "interactions per scheduling slice (0 = default); long jobs are checkpointed and preempted at slice boundaries when other jobs wait")
+	workerAddr := flag.String("workeraddr", "", "listen address for ssrank-worker processes (host:port, or a unix socket path containing '/'); empty disables distributed execution")
+	cacheDir := flag.String("cachedir", "", "directory for the disk-spill result cache; empty keeps the cache memory-only")
+	cacheMax := flag.Int("cachemax", 0, "in-memory result cache capacity in entries (0 = default)")
 	flag.Parse()
 
-	m := jobs.NewManager(jobs.Config{Workers: *workers, SliceInteractions: *slice})
+	jcfg := jobs.Config{Workers: *workers, SliceInteractions: *slice, CacheDir: *cacheDir, CacheMax: *cacheMax}
+	if *workerAddr != "" {
+		pool := &distPool{}
+		ln, err := listen(*workerAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ssrankd:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				log.Printf("ssrankd: worker connected from %s", c.RemoteAddr())
+				pool.add(c)
+			}
+		}()
+		jcfg.Dist = pool
+		log.Printf("ssrankd accepting workers on %s", *workerAddr)
+	}
+	m := jobs.NewManager(jcfg)
 	defer m.Close()
 
 	log.Printf("ssrankd listening on %s (%d workers)", *addr, *workers)
@@ -48,6 +84,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssrankd:", err)
 		os.Exit(1)
 	}
+}
+
+// listen opens the worker listener: a unix socket when the address
+// contains a path separator (removing a stale socket file first),
+// TCP otherwise.
+func listen(addr string) (net.Listener, error) {
+	if strings.Contains(addr, "/") {
+		os.Remove(addr)
+		return net.Listen("unix", addr)
+	}
+	return net.Listen("tcp", addr)
 }
 
 // newMux wires the API routes onto a fresh ServeMux (split from main
@@ -84,18 +131,30 @@ func newMux(m *jobs.Manager) *http.ServeMux {
 
 // jobJSON is the wire form of a job.
 type jobJSON struct {
-	ID     string         `json:"id"`
-	State  jobs.State     `json:"state"`
-	Steps  int64          `json:"steps"`
-	Config ssrank.Config  `json:"config"`
-	Key    string         `json:"key"`
-	Result *ssrank.Result `json:"result,omitempty"`
-	Error  string         `json:"error,omitempty"`
+	ID    string     `json:"id"`
+	State jobs.State `json:"state"`
+	Steps int64      `json:"steps"`
+	// Progress is the fraction of the interaction budget consumed so
+	// far, in [0, 1]; 1 on every Done job (convergence ends the run
+	// early, but ends it). A coarse dashboard number: convergence is a
+	// hitting time, not a linear process, so most runs finish well
+	// before Progress reaches 1.
+	Progress float64        `json:"progress"`
+	Config   ssrank.Config  `json:"config"`
+	Key      string         `json:"key"`
+	Result   *ssrank.Result `json:"result,omitempty"`
+	Error    string         `json:"error,omitempty"`
 }
 
 func jobView(j *jobs.Job) jobJSON {
 	state, steps, result, err := j.Status()
 	v := jobJSON{ID: j.ID, State: state, Steps: steps, Config: j.Config, Key: j.Key, Result: result}
+	if budget := j.Config.MaxInteractions; budget > 0 {
+		v.Progress = min(float64(steps)/float64(budget), 1)
+	}
+	if state == jobs.Done {
+		v.Progress = 1
+	}
 	if err != nil {
 		v.Error = err.Error()
 	}

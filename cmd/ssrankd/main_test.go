@@ -3,10 +3,12 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -158,5 +160,76 @@ func getJSON(t *testing.T, srv *httptest.Server, path string, v any) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServerDistributed drives a Workers>1 job through a connected
+// worker fleet (the -workeraddr accept loop feeding distPool) and
+// requires the exact in-process Result on the status endpoint, plus
+// the progress fraction reaching 1 at the terminal state.
+func TestServerDistributed(t *testing.T) {
+	pool := &distPool{}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			pool.add(c)
+		}
+	}()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for i := 0; i < 2; i++ {
+		wc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer wc.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ssrank.ServeWorker(wc)
+		}()
+	}
+
+	m := jobs.NewManager(jobs.Config{Workers: 1, Dist: pool})
+	defer m.Close()
+	srv := httptest.NewServer(newMux(m))
+	defer srv.Close()
+
+	v := postJob(t, srv, `{"N":64,"Seed":13,"Shards":4,"Workers":2}`)
+	var status jobJSON
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(t, srv, "/jobs/"+v.ID, &status)
+		if status.State == jobs.Done || status.State == jobs.Failed {
+			break
+		}
+		if status.Progress < 0 || status.Progress > 1 {
+			t.Fatalf("progress %v out of range", status.Progress)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("distributed job stuck in %s", status.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if status.State != jobs.Done || status.Result == nil {
+		t.Fatalf("terminal status %+v (%s)", status, status.Error)
+	}
+	if status.Progress != 1 {
+		t.Fatalf("terminal progress %v, want 1", status.Progress)
+	}
+	want, err := ssrank.Run(ssrank.Config{N: 64, Seed: 13, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*status.Result, want) {
+		t.Fatalf("distributed job result diverged from Run:\njob %+v\nrun %+v", *status.Result, want)
 	}
 }

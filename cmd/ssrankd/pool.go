@@ -1,0 +1,80 @@
+package main
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"ssrank"
+)
+
+// pooledConn tracks liveness for the worker pool. A distributed run
+// closes connections it rejects at handshake or drops after a
+// heartbeat timeout; the overridden Close records that so the pool
+// skips dead entries on the next run.
+type pooledConn struct {
+	net.Conn
+	closed atomic.Bool
+}
+
+func (c *pooledConn) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+// distPool is the daemon's worker fleet — every connection accepted on
+// the -workeraddr listener — and the jobs.DistRunner the manager
+// dispatches eligible jobs through. Runs are serialized under the pool
+// lock: the wire protocol dedicates a connection to one coordinator at
+// a time, and one run at full fleet parallelism finishes sooner than
+// interleaved runs contending for workers.
+type distPool struct {
+	mu    sync.Mutex
+	conns []*pooledConn
+}
+
+func (p *distPool) add(c net.Conn) {
+	pc := &pooledConn{Conn: c}
+	p.mu.Lock()
+	p.conns = append(p.conns, pc)
+	p.mu.Unlock()
+}
+
+// Run implements jobs.DistRunner: hand the live fleet (capped at the
+// job's Workers knob) to RunDistributed. Declines — no live workers,
+// a config the distributed engine does not cover, or an
+// infrastructure failure — return ok = false and the manager runs the
+// job in-process instead; determinism makes the substitution
+// invisible in the Result.
+func (p *distPool) Run(cfg ssrank.Config, onBatch func(int64)) (ssrank.Result, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	live := p.conns[:0]
+	for _, c := range p.conns {
+		if !c.closed.Load() {
+			live = append(live, c)
+		}
+	}
+	p.conns = live
+	// Message-network configs resolve to zero shards, so the shard
+	// check also filters runs the distributed engine does not cover.
+	if cfg.Shards < 2 || len(live) == 0 {
+		return ssrank.Result{}, false, nil
+	}
+	n := len(live)
+	if cfg.Workers > 0 && n > cfg.Workers {
+		n = cfg.Workers
+	}
+	conns := make([]net.Conn, n)
+	for i := range conns {
+		conns[i] = live[i]
+	}
+	res, err := ssrank.RunDistributed(cfg, ssrank.DistRun{Workers: conns, OnBatch: onBatch})
+	if err != nil && !errors.Is(err, ssrank.ErrNotConverged) {
+		log.Printf("ssrankd: distributed run failed, falling back in-process: %v", err)
+		return ssrank.Result{}, false, nil
+	}
+	return res, true, err
+}

@@ -9,6 +9,7 @@ import (
 	"ssrank/internal/baseline/sudo"
 	"ssrank/internal/ckpt"
 	"ssrank/internal/core"
+	"ssrank/internal/dist"
 	"ssrank/internal/proto"
 	"ssrank/internal/rng"
 	"ssrank/internal/sim"
@@ -46,9 +47,11 @@ type Descriptor struct {
 	// stabilization time, saturating at MaxInt64.
 	DefaultBudget func(n int) int64
 
-	run    func(cfg Config) (Result, error)
-	newSim func(cfg Config) (simHandle, error)
-	resume func(cfg Config, r *ckpt.Reader) (simHandle, error)
+	run         func(cfg Config) (Result, error)
+	newSim      func(cfg Config) (simHandle, error)
+	resume      func(cfg Config, r *ckpt.Reader) (simHandle, error)
+	runDist     func(cfg Config, opts DistRun) (Result, error)
+	distRuntime func(cfg Config) dist.Runtime
 }
 
 // Supports reports whether the protocol registered the named init.
@@ -157,6 +160,12 @@ func describe[S any, P sim.TouchReporter[S]](mk func(Config) proto.Descriptor[S,
 		},
 		resume: func(cfg Config, r *ckpt.Reader) (simHandle, error) {
 			return resumeDriver(cfg, mk(cfg), r)
+		},
+		runDist: func(cfg Config, opts DistRun) (Result, error) {
+			return runDistDesc(cfg, mk(cfg), opts)
+		},
+		distRuntime: func(cfg Config) dist.Runtime {
+			return dist.NewRuntime(mk(cfg))
 		},
 	}
 }

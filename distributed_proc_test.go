@@ -1,0 +1,74 @@
+package ssrank
+
+import (
+	"net"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestDistWorkerProcessKill is the end-to-end crash drill with real
+// worker processes: build cmd/ssrank-worker, point three of them at a
+// coordinator listener, SIGKILL one mid-run, and require the recovered
+// Result byte-identical to the undisturbed in-process run. The
+// in-process recovery tests pin the protocol logic; this one pins the
+// actual binary, dial loop and OS-level death signal.
+func TestDistWorkerProcessKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real worker processes")
+	}
+	bin := filepath.Join(t.TempDir(), "ssrank-worker")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/ssrank-worker").CombinedOutput(); err != nil {
+		t.Fatalf("build worker: %v\n%s", err, out)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	procs := make([]*exec.Cmd, 3)
+	conns := make([]net.Conn, 3)
+	for i := range procs {
+		procs[i] = exec.Command(bin, "-coordinator", ln.Addr().String(), "-retry", "0")
+		if err := procs[i].Start(); err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		if conns[i], err = ln.Accept(); err != nil {
+			t.Fatalf("accept worker %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.Process.Kill()
+			p.Wait()
+		}
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+
+	cfg := Config{N: 96, Seed: 31, Shards: 4}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("in-process run: %v", err)
+	}
+	batches := 0
+	got, err := RunDistributed(cfg, DistRun{
+		Workers: conns,
+		Timeout: 10 * time.Second,
+		OnBatch: func(int64) {
+			batches++
+			if batches == 2 {
+				procs[0].Process.Kill()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("distributed run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("result after worker SIGKILL differs from undisturbed run\n got: %+v\nwant: %+v", got, want)
+	}
+}

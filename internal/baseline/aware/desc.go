@@ -30,6 +30,10 @@ func Describe() proto.Descriptor[State, *Protocol] {
 		RandomState:    (*Protocol).RandomState,
 		MarshalState:   MarshalState,
 		UnmarshalState: UnmarshalState,
+		EncodeAgent:    EncodeAgent,
+		DecodeAgent:    DecodeAgent,
+		Instr:          Instr,
+		SetInstr:       SetInstr,
 		Budget:         proto.BudgetN2LogN(3000),
 	}
 }

@@ -6,24 +6,64 @@ import (
 	"ssrank/internal/ckpt"
 )
 
+// EncodeAgent appends one agent's state field-by-field — the per-agent
+// unit of MarshalState's slab section, shared with the distributed
+// wire layer so the two encodings cannot drift
+// (proto.Descriptor.EncodeAgent).
+func EncodeAgent(p *Protocol, s *State, w *ckpt.Writer) {
+	w.Uvarint(uint64(s.Mode))
+	w.Uvarint(uint64(s.Coin))
+	w.Varint(int64(s.Rank))
+	w.Varint(int64(s.Next))
+	w.Varint(int64(s.Alive))
+	w.Varint(int64(s.ResetCount))
+	w.Varint(int64(s.DelayCount))
+	w.Varint(int64(s.LECount))
+	w.Varint(int64(s.CoinCount))
+	w.Bool(s.LeaderDone)
+	w.Bool(s.IsLeader)
+}
+
+// DecodeAgent decodes one agent written by EncodeAgent; errors stick
+// in r.
+func DecodeAgent(p *Protocol, r *ckpt.Reader) State {
+	var s State
+	s.Mode = Mode(r.Uvarint())
+	s.Coin = uint8(r.Uvarint())
+	s.Rank = int32(r.Int())
+	s.Next = int32(r.Int())
+	s.Alive = int32(r.Int())
+	s.ResetCount = int32(r.Int())
+	s.DelayCount = int32(r.Int())
+	s.LECount = int32(r.Int())
+	s.CoinCount = int32(r.Int())
+	s.LeaderDone = r.Bool()
+	s.IsLeader = r.Bool()
+	return s
+}
+
+// Instr captures the reset counter as a one-element vector; vectors
+// over disjoint interaction sets sum element-wise
+// (proto.Descriptor.Instr).
+func Instr(p *Protocol) []int64 {
+	return []int64{p.resets.Load()}
+}
+
+// SetInstr restores a vector captured by Instr.
+func SetInstr(p *Protocol, v []int64) {
+	if len(v) > 0 {
+		p.resets.Store(v[0])
+	}
+}
+
 // MarshalState appends the protocol's full mutable run state to w: the
-// agent slab field-by-field in agent order, then the reset counter.
-// Field order is the schema (proto.Descriptor.MarshalState).
+// agent slab field-by-field in agent order (EncodeAgent per agent),
+// then the reset counter. Field order is the schema
+// (proto.Descriptor.MarshalState).
 func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
 	w.Uvarint(uint64(len(states)))
 	for i := range states {
-		s := &states[i]
-		w.Uvarint(uint64(s.Mode))
-		w.Uvarint(uint64(s.Coin))
-		w.Varint(int64(s.Rank))
-		w.Varint(int64(s.Next))
-		w.Varint(int64(s.Alive))
-		w.Varint(int64(s.ResetCount))
-		w.Varint(int64(s.DelayCount))
-		w.Varint(int64(s.LECount))
-		w.Varint(int64(s.CoinCount))
-		w.Bool(s.LeaderDone)
-		w.Bool(s.IsLeader)
+		EncodeAgent(p, &states[i], w)
 	}
 	w.Varint(p.resets.Load())
 }
@@ -37,18 +77,7 @@ func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
 	}
 	states := make([]State, n)
 	for i := range states {
-		s := &states[i]
-		s.Mode = Mode(r.Uvarint())
-		s.Coin = uint8(r.Uvarint())
-		s.Rank = int32(r.Int())
-		s.Next = int32(r.Int())
-		s.Alive = int32(r.Int())
-		s.ResetCount = int32(r.Int())
-		s.DelayCount = int32(r.Int())
-		s.LECount = int32(r.Int())
-		s.CoinCount = int32(r.Int())
-		s.LeaderDone = r.Bool()
-		s.IsLeader = r.Bool()
+		states[i] = DecodeAgent(p, r)
 	}
 	p.resets.Store(r.Varint())
 	if err := r.Err(); err != nil {

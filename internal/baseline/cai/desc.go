@@ -28,6 +28,8 @@ func Describe() proto.Descriptor[State, *Protocol] {
 		RandomState:    (*Protocol).RandomState,
 		MarshalState:   MarshalState,
 		UnmarshalState: UnmarshalState,
+		EncodeAgent:    EncodeAgent,
+		DecodeAgent:    DecodeAgent,
 		Budget:         proto.BudgetN3(2000),
 	}
 }

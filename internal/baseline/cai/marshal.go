@@ -6,13 +6,26 @@ import (
 	"ssrank/internal/ckpt"
 )
 
+// EncodeAgent appends one agent's label — the per-agent unit of
+// MarshalState's slab section, shared with the distributed wire layer
+// (proto.Descriptor.EncodeAgent).
+func EncodeAgent(p *Protocol, s *State, w *ckpt.Writer) {
+	w.Varint(int64(*s))
+}
+
+// DecodeAgent decodes one agent written by EncodeAgent; errors stick
+// in r.
+func DecodeAgent(p *Protocol, r *ckpt.Reader) State {
+	return State(r.Int())
+}
+
 // MarshalState appends the agent slab — one label per agent — to w.
 // The protocol is immutable, so the slab is the whole mutable run
 // state (proto.Descriptor.MarshalState).
 func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
 	w.Uvarint(uint64(len(states)))
-	for _, s := range states {
-		w.Varint(int64(s))
+	for i := range states {
+		EncodeAgent(p, &states[i], w)
 	}
 }
 
@@ -25,7 +38,7 @@ func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
 	}
 	states := make([]State, n)
 	for i := range states {
-		states[i] = State(r.Int())
+		states[i] = DecodeAgent(p, r)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("cai: %w", err)

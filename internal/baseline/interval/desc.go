@@ -30,6 +30,8 @@ func Describe(epsilon float64) proto.Descriptor[State, *Protocol] {
 		},
 		MarshalState:   MarshalState,
 		UnmarshalState: UnmarshalState,
+		EncodeAgent:    EncodeAgent,
+		DecodeAgent:    DecodeAgent,
 		Budget:         proto.BudgetN2(5000),
 	}
 }

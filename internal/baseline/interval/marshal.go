@@ -6,14 +6,30 @@ import (
 	"ssrank/internal/ckpt"
 )
 
+// EncodeAgent appends one agent's owned interval — the per-agent unit
+// of MarshalState's slab section, shared with the distributed wire
+// layer (proto.Descriptor.EncodeAgent).
+func EncodeAgent(p *Protocol, s *State, w *ckpt.Writer) {
+	w.Varint(int64(s.Lo))
+	w.Varint(int64(s.Hi))
+}
+
+// DecodeAgent decodes one agent written by EncodeAgent; errors stick
+// in r.
+func DecodeAgent(p *Protocol, r *ckpt.Reader) State {
+	var s State
+	s.Lo = int32(r.Int())
+	s.Hi = int32(r.Int())
+	return s
+}
+
 // MarshalState appends the agent slab — each agent's owned interval —
 // to w. The protocol is immutable, so the slab is the whole mutable
 // run state (proto.Descriptor.MarshalState).
 func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
 	w.Uvarint(uint64(len(states)))
 	for i := range states {
-		w.Varint(int64(states[i].Lo))
-		w.Varint(int64(states[i].Hi))
+		EncodeAgent(p, &states[i], w)
 	}
 }
 
@@ -26,8 +42,7 @@ func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
 	}
 	states := make([]State, n)
 	for i := range states {
-		states[i].Lo = int32(r.Int())
-		states[i].Hi = int32(r.Int())
+		states[i] = DecodeAgent(p, r)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("interval: %w", err)

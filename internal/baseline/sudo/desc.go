@@ -53,6 +53,8 @@ func Describe(timeoutFactor float64) proto.Descriptor[State, *Protocol] {
 		},
 		MarshalState:   MarshalState,
 		UnmarshalState: UnmarshalState,
+		EncodeAgent:    EncodeAgent,
+		DecodeAgent:    DecodeAgent,
 		Budget:         proto.BudgetN2(5000),
 	}
 }

@@ -6,14 +6,30 @@ import (
 	"ssrank/internal/ckpt"
 )
 
+// EncodeAgent appends one agent's leader bit and timeout — the
+// per-agent unit of MarshalState's slab section, shared with the
+// distributed wire layer (proto.Descriptor.EncodeAgent).
+func EncodeAgent(p *Protocol, s *State, w *ckpt.Writer) {
+	w.Bool(s.Leader)
+	w.Varint(int64(s.Timeout))
+}
+
+// DecodeAgent decodes one agent written by EncodeAgent; errors stick
+// in r.
+func DecodeAgent(p *Protocol, r *ckpt.Reader) State {
+	var s State
+	s.Leader = r.Bool()
+	s.Timeout = int32(r.Int())
+	return s
+}
+
 // MarshalState appends the agent slab — leader bit and timeout per
 // agent — to w. The protocol is immutable, so the slab is the whole
 // mutable run state (proto.Descriptor.MarshalState).
 func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
 	w.Uvarint(uint64(len(states)))
 	for i := range states {
-		w.Bool(states[i].Leader)
-		w.Varint(int64(states[i].Timeout))
+		EncodeAgent(p, &states[i], w)
 	}
 }
 
@@ -26,8 +42,7 @@ func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
 	}
 	states := make([]State, n)
 	for i := range states {
-		states[i].Leader = r.Bool()
-		states[i].Timeout = int32(r.Int())
+		states[i] = DecodeAgent(p, r)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("sudo: %w", err)

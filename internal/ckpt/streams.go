@@ -1,0 +1,59 @@
+package ckpt
+
+import (
+	"math"
+
+	"ssrank/internal/rng"
+)
+
+// Stream-state sections shared by every layer that serializes engine
+// position: the facade checkpoint format (engine section of an "sscp"
+// blob), and the distributed runtime's wire frames, whose Assign
+// payload is a per-shard-group sub-blob of exactly these sections. The
+// layouts here were originally private to the facade; they are part of
+// the frozen sscp v1 encoding, so they must never change shape — a new
+// layout means a new function, not an edit.
+
+// WritePairState appends a pair-stream position: n uvarint, 4×u64
+// source state, consumed uvarint, filled bool.
+func WritePairState(w *Writer, st rng.PairBatchState) {
+	w.Uvarint(uint64(st.N))
+	for _, word := range st.Src {
+		w.U64(word)
+	}
+	w.Uvarint(uint64(st.Consumed))
+	w.Bool(st.Filled)
+}
+
+// ReadPairState decodes a stream position written by WritePairState.
+// Errors stick in r; rng.PairBatch.SetState validates the decoded
+// values against the live sampler.
+func ReadPairState(r *Reader) rng.PairBatchState {
+	var st rng.PairBatchState
+	st.N = r.Count(math.MaxInt32)
+	for i := range st.Src {
+		st.Src[i] = r.U64()
+	}
+	st.Consumed = r.Count(math.MaxInt32)
+	st.Filled = r.Bool()
+	return st
+}
+
+// WriteRNGState appends a bare xoshiro256** state — the full position
+// of an unbuffered stream (the sharded master and cross-class
+// streams).
+func WriteRNGState(w *Writer, st [4]uint64) {
+	for _, word := range st {
+		w.U64(word)
+	}
+}
+
+// ReadRNGState decodes a state written by WriteRNGState. Errors stick
+// in r; rng.RNG.SetState rejects the invalid all-zero state.
+func ReadRNGState(r *Reader) [4]uint64 {
+	var st [4]uint64
+	for i := range st {
+		st[i] = r.U64()
+	}
+	return st
+}

@@ -24,6 +24,8 @@ func Describe() proto.Descriptor[State, *Protocol] {
 		Rank:           RankOf,
 		MarshalState:   MarshalState,
 		UnmarshalState: UnmarshalState,
+		EncodeAgent:    EncodeAgent,
+		DecodeAgent:    DecodeAgent,
 		Budget:         proto.BudgetN2LogN(3000),
 	}
 }

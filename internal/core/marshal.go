@@ -6,28 +6,56 @@ import (
 	"ssrank/internal/ckpt"
 )
 
-// MarshalState appends the agent slab to w field-by-field in agent
-// order, the leader-election sub-state inlined. The protocol itself is
-// immutable, so the slab is the whole mutable run state. Field order
-// is the schema (proto.Descriptor.MarshalState).
+// EncodeAgent appends one agent's state field-by-field, the
+// leader-election sub-state inlined — the per-agent unit of
+// MarshalState's slab section, shared with the distributed wire layer
+// so the two encodings cannot drift (proto.Descriptor.EncodeAgent).
+func EncodeAgent(p *Protocol, s *State, w *ckpt.Writer) {
+	w.Uvarint(uint64(s.Kind))
+	w.Varint(int64(s.Rank))
+	w.Varint(int64(s.Phase))
+	w.Varint(int64(s.Wait))
+	w.Uvarint(uint64(s.LE.Coin))
+	w.Bool(s.LE.Contender)
+	w.Bool(s.LE.InLottery)
+	w.Varint(int64(s.LE.Level))
+	w.Varint(int64(s.LE.SigBits))
+	w.Varint(int64(s.LE.Sig))
+	w.Varint(int64(s.LE.MaxLevel))
+	w.Varint(int64(s.LE.MaxSig))
+	w.Bool(s.LE.Done)
+	w.Varint(int64(s.LE.DoneCtr))
+}
+
+// DecodeAgent decodes one agent written by EncodeAgent; errors stick
+// in r.
+func DecodeAgent(p *Protocol, r *ckpt.Reader) State {
+	var s State
+	s.Kind = Kind(r.Uvarint())
+	s.Rank = int32(r.Int())
+	s.Phase = int32(r.Int())
+	s.Wait = int32(r.Int())
+	s.LE.Coin = uint8(r.Uvarint())
+	s.LE.Contender = r.Bool()
+	s.LE.InLottery = r.Bool()
+	s.LE.Level = int16(r.Int())
+	s.LE.SigBits = int16(r.Int())
+	s.LE.Sig = int32(r.Int())
+	s.LE.MaxLevel = int16(r.Int())
+	s.LE.MaxSig = int32(r.Int())
+	s.LE.Done = r.Bool()
+	s.LE.DoneCtr = int32(r.Int())
+	return s
+}
+
+// MarshalState appends the agent slab to w (EncodeAgent per agent in
+// agent order). The protocol itself is immutable, so the slab is the
+// whole mutable run state. Field order is the schema
+// (proto.Descriptor.MarshalState).
 func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
 	w.Uvarint(uint64(len(states)))
 	for i := range states {
-		s := &states[i]
-		w.Uvarint(uint64(s.Kind))
-		w.Varint(int64(s.Rank))
-		w.Varint(int64(s.Phase))
-		w.Varint(int64(s.Wait))
-		w.Uvarint(uint64(s.LE.Coin))
-		w.Bool(s.LE.Contender)
-		w.Bool(s.LE.InLottery)
-		w.Varint(int64(s.LE.Level))
-		w.Varint(int64(s.LE.SigBits))
-		w.Varint(int64(s.LE.Sig))
-		w.Varint(int64(s.LE.MaxLevel))
-		w.Varint(int64(s.LE.MaxSig))
-		w.Bool(s.LE.Done)
-		w.Varint(int64(s.LE.DoneCtr))
+		EncodeAgent(p, &states[i], w)
 	}
 }
 
@@ -40,21 +68,7 @@ func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
 	}
 	states := make([]State, n)
 	for i := range states {
-		s := &states[i]
-		s.Kind = Kind(r.Uvarint())
-		s.Rank = int32(r.Int())
-		s.Phase = int32(r.Int())
-		s.Wait = int32(r.Int())
-		s.LE.Coin = uint8(r.Uvarint())
-		s.LE.Contender = r.Bool()
-		s.LE.InLottery = r.Bool()
-		s.LE.Level = int16(r.Int())
-		s.LE.SigBits = int16(r.Int())
-		s.LE.Sig = int32(r.Int())
-		s.LE.MaxLevel = int16(r.Int())
-		s.LE.MaxSig = int32(r.Int())
-		s.LE.Done = r.Bool()
-		s.LE.DoneCtr = int32(r.Int())
+		states[i] = DecodeAgent(p, r)
 	}
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -15,7 +15,12 @@
 package jobs
 
 import (
+	"container/list"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"ssrank"
@@ -166,6 +171,36 @@ type cacheEntry struct {
 	err    error
 }
 
+// lruEntry is a cacheEntry on the recency list; the map indexes the
+// list elements so hit, insert and evict are all O(1).
+type lruEntry struct {
+	key string
+	e   cacheEntry
+}
+
+// spillEntry is the on-disk form of a cacheEntry: plain JSON, one file
+// per key under the cache directory. Errors survive as their message —
+// the only terminal errors worth caching are deterministic outcomes
+// (budget exhaustion), which the jobs layer represents as flat strings
+// anyway.
+type spillEntry struct {
+	Result *ssrank.Result `json:"result,omitempty"`
+	Err    string         `json:"error,omitempty"`
+}
+
+// DistRunner executes one run on a distributed worker fleet (see
+// ssrank.RunDistributed; cmd/ssrankd's worker pool implements this).
+// ok = false means the fleet declined — no live workers, a config the
+// distributed engine does not cover, or an infrastructure failure —
+// and the manager falls back to in-process execution; determinism
+// makes the substitution invisible in the Result. A non-nil error is
+// reserved for deterministic outcomes (budget exhaustion, with the
+// partial Result attached). onBatch receives committed interaction
+// totals at batch barriers for progress reporting.
+type DistRunner interface {
+	Run(cfg ssrank.Config, onBatch func(steps int64)) (ssrank.Result, bool, error)
+}
+
 // Config configures a Manager.
 type Config struct {
 	// Workers is the worker-pool size; < 1 means 1.
@@ -177,7 +212,29 @@ type Config struct {
 	// period, keeping checkpoint cuts barrier-aligned so preemption
 	// never changes the trajectory.
 	SliceInteractions int64
+	// CacheMax caps the in-memory result cache (entries); the least
+	// recently used entry is evicted past the cap. < 1 picks a
+	// default (256). Evicted entries remain servable from CacheDir
+	// when one is configured.
+	CacheMax int
+	// CacheDir, when set, persists every completed result as a JSON
+	// spill file named by the job's cache key. Overflow from the
+	// in-memory cache and results from earlier manager lifetimes are
+	// served from disk (and promoted back into memory) on the next
+	// submission of the same canonical Config — the cache survives
+	// restarts.
+	CacheDir string
+	// Dist, when set, routes eligible jobs (canonical Config.Workers
+	// > 1, fresh — not resumed from a preemption checkpoint) to the
+	// distributed fleet. Distributed jobs run to completion without
+	// preemption.
+	Dist DistRunner
 }
+
+// defaultCacheMax bounds the in-memory cache when Config.CacheMax is
+// unset: big enough for any test or interactive workload, small
+// enough that parameter sweeps cannot grow the heap without bound.
+const defaultCacheMax = 256
 
 // defaultSlice is the default scheduling slice: large enough that
 // small jobs finish in one slice, small enough that a backed-up queue
@@ -186,16 +243,20 @@ const defaultSlice = 1 << 18
 
 // Manager owns the queue, the worker pool and the result cache.
 type Manager struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []*Job
-	jobs    map[string]*Job
-	cache   map[string]cacheEntry
-	slice   int64
-	nextID  int
-	closed  bool
-	wg      sync.WaitGroup
-	started int64 // executions begun (not cache hits); tests read this
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Job
+	jobs     map[string]*Job
+	cache    map[string]*list.Element // key -> *lruEntry element on lru
+	lru      *list.List               // front = most recently used
+	cacheMax int
+	cacheDir string
+	dist     DistRunner
+	slice    int64
+	nextID   int
+	closed   bool
+	wg       sync.WaitGroup
+	started  int64 // executions begun (not cache hits); tests read this
 }
 
 // NewManager starts a Manager with cfg.Workers workers.
@@ -206,10 +267,20 @@ func NewManager(cfg Config) *Manager {
 	if cfg.SliceInteractions < 1 {
 		cfg.SliceInteractions = defaultSlice
 	}
+	if cfg.CacheMax < 1 {
+		cfg.CacheMax = defaultCacheMax
+	}
+	if cfg.CacheDir != "" {
+		os.MkdirAll(cfg.CacheDir, 0o755)
+	}
 	m := &Manager{
-		jobs:  make(map[string]*Job),
-		cache: make(map[string]cacheEntry),
-		slice: cfg.SliceInteractions,
+		jobs:     make(map[string]*Job),
+		cache:    make(map[string]*list.Element),
+		lru:      list.New(),
+		cacheMax: cfg.CacheMax,
+		cacheDir: cfg.CacheDir,
+		dist:     cfg.Dist,
+		slice:    cfg.SliceInteractions,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.wg.Add(cfg.Workers)
@@ -259,13 +330,90 @@ func (m *Manager) Submit(cfg ssrank.Config) (*Job, error) {
 	m.nextID++
 	m.jobs[j.ID] = j
 	j.emit(EventQueued, nil)
-	if hit, ok := m.cache[key]; ok {
+	if hit, ok := m.cacheGet(key); ok {
 		m.finish(j, hit.result, hit.err, true)
 		return j, nil
 	}
 	m.queue = append(m.queue, j)
 	m.cond.Signal()
 	return j, nil
+}
+
+// cacheGet looks a key up in the in-memory cache, falling back to the
+// disk spill (promoting a disk hit back into memory). Callers hold
+// m.mu.
+func (m *Manager) cacheGet(key string) (cacheEntry, bool) {
+	if el, ok := m.cache[key]; ok {
+		m.lru.MoveToFront(el)
+		return el.Value.(*lruEntry).e, true
+	}
+	if m.cacheDir == "" {
+		return cacheEntry{}, false
+	}
+	e, ok := m.readSpill(key)
+	if !ok {
+		return cacheEntry{}, false
+	}
+	m.cachePut(key, e)
+	return e, true
+}
+
+// cachePut inserts (or refreshes) an entry and evicts past the cap,
+// least recently used first. Eviction only drops the in-memory copy:
+// with a cache directory configured every completed entry was already
+// spilled write-through, so evicted results stay servable from disk.
+// Callers hold m.mu.
+func (m *Manager) cachePut(key string, e cacheEntry) {
+	if el, ok := m.cache[key]; ok {
+		el.Value.(*lruEntry).e = e
+		m.lru.MoveToFront(el)
+	} else {
+		m.cache[key] = m.lru.PushFront(&lruEntry{key: key, e: e})
+	}
+	for m.lru.Len() > m.cacheMax {
+		el := m.lru.Back()
+		m.lru.Remove(el)
+		delete(m.cache, el.Value.(*lruEntry).key)
+	}
+}
+
+// writeSpill persists an entry under the cache directory, named by its
+// key (hex SHA-256 — filesystem-safe by construction). Best effort: a
+// full disk degrades the cache, not the job. The write goes to a temp
+// file first so a crash never leaves a torn spill a later manager
+// would try to parse.
+func (m *Manager) writeSpill(key string, e cacheEntry) {
+	se := spillEntry{Result: e.result}
+	if e.err != nil {
+		se.Err = e.err.Error()
+	}
+	data, err := json.Marshal(se)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(m.cacheDir, key+".tmp")
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(m.cacheDir, key+".json"))
+}
+
+// readSpill loads a spilled entry; unreadable or unparsable files are
+// treated as misses (the job just re-executes).
+func (m *Manager) readSpill(key string) (cacheEntry, bool) {
+	data, err := os.ReadFile(filepath.Join(m.cacheDir, key+".json"))
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	var se spillEntry
+	if json.Unmarshal(data, &se) != nil {
+		return cacheEntry{}, false
+	}
+	e := cacheEntry{result: se.Result}
+	if se.Err != "" {
+		e.err = errors.New(se.Err)
+	}
+	return e, true
 }
 
 // Get returns the job with the given id.
@@ -307,7 +455,11 @@ func (m *Manager) finish(j *Job, res *ssrank.Result, err error, cached bool) {
 		j.steps = res.Interactions
 	}
 	if !cached {
-		m.cache[j.Key] = cacheEntry{result: res, err: err}
+		e := cacheEntry{result: res, err: err}
+		m.cachePut(j.Key, e)
+		if m.cacheDir != "" {
+			m.writeSpill(j.Key, e)
+		}
 	} else {
 		j.emit(EventCached, nil)
 	}
@@ -363,11 +515,51 @@ func (m *Manager) sliceFor(cfg ssrank.Config) int64 {
 	return (m.slice + period - 1) / period * period
 }
 
+// runDist offers j to the distributed fleet. A false return means the
+// fleet declined and the caller should execute in-process; true means
+// the job reached a terminal state. Progress events are throttled to
+// the manager's slice cadence so a distributed run streams the same
+// granularity an in-process run would, while j.steps tracks every
+// barrier for Status readers.
+func (m *Manager) runDist(j *Job) bool {
+	slice := m.sliceFor(j.Config)
+	var last int64
+	res, ok, err := m.dist.Run(j.Config, func(steps int64) {
+		m.mu.Lock()
+		j.steps = steps
+		if steps-last >= slice {
+			last = steps
+			j.emit(EventProgress, nil)
+		}
+		m.mu.Unlock()
+	})
+	if !ok {
+		return false
+	}
+	if err != nil && !errors.Is(err, ssrank.ErrNotConverged) {
+		// Defensive: infrastructure failures are not deterministic
+		// outcomes and must not be cached — fall back in-process.
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("jobs: %s did not converge within %d interactions", j.Config.Protocol, j.Config.MaxInteractions)
+		m.finish(j, &res, err, false) // partial outcome, as in-process
+		return true
+	}
+	m.finish(j, &res, nil, false)
+	return true
+}
+
 // run executes one scheduling slice of j (resuming from a checkpoint
 // if one was taken) and routes the outcome: done, failed, preempted,
 // or — when the queue is empty and the manager open — immediately
 // another slice.
 func (m *Manager) run(j *Job, resume []byte) {
+	if resume == nil && m.dist != nil && j.Config.Workers > 1 && m.runDist(j) {
+		return
+	}
 	var (
 		sim *ssrank.Simulation
 		err error

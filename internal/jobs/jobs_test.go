@@ -1,7 +1,11 @@
 package jobs
 
 import (
+	"errors"
+	"net"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -231,5 +235,219 @@ func TestKeyStability(t *testing.T) {
 		if kv == k1 {
 			t.Fatalf("%s variant collided with the base key", name)
 		}
+	}
+}
+
+// TestCacheSpillSurvivesRestart completes a job under a cache
+// directory, tears the manager down, and re-submits the identical
+// Config to a fresh manager over the same directory: the result must
+// be served from disk without starting an execution.
+func TestCacheSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ssrank.Config{N: 64, Seed: 11, Shards: 2}
+	m := NewManager(Config{Workers: 1, CacheDir: dir})
+	j, err := m.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res1, _ := wait(t, j)
+	m.Close()
+
+	m2 := NewManager(Config{Workers: 1, CacheDir: dir})
+	defer m2.Close()
+	j2, err := m2.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, res2, _ := j2.Status()
+	if st != Done {
+		t.Fatalf("restarted-manager submit state %s, want immediate %s", st, Done)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("spilled result diverged:\nfirst  %+v\nsecond %+v", res1, res2)
+	}
+	if n := m2.Started(); n != 0 {
+		t.Fatalf("%d executions started after restart, want 0 (disk cache must serve)", n)
+	}
+}
+
+// TestCacheLRUEviction pins the memory cap: with CacheMax 1 and no
+// spill directory, a second distinct result evicts the first, so
+// re-submitting the first config re-executes. With a spill directory,
+// the evicted entry is still served from disk.
+func TestCacheLRUEviction(t *testing.T) {
+	cfgA := ssrank.Config{N: 48, Seed: 1}
+	cfgB := ssrank.Config{N: 48, Seed: 2}
+	m := NewManager(Config{Workers: 1, CacheMax: 1})
+	wait(t, mustSubmit(t, m, cfgA))
+	wait(t, mustSubmit(t, m, cfgB)) // evicts A
+	wait(t, mustSubmit(t, m, cfgA)) // miss: must re-execute
+	if n := m.Started(); n != 3 {
+		t.Fatalf("%d executions started, want 3 (LRU must have evicted)", n)
+	}
+	m.Close()
+
+	m2 := NewManager(Config{Workers: 1, CacheMax: 1, CacheDir: t.TempDir()})
+	defer m2.Close()
+	wait(t, mustSubmit(t, m2, cfgA))
+	wait(t, mustSubmit(t, m2, cfgB)) // evicts A from memory, not disk
+	j := mustSubmit(t, m2, cfgA)
+	if st, _, _, _ := j.Status(); st != Done {
+		t.Fatalf("evicted-entry submit state %s, want immediate %s via disk", st, Done)
+	}
+	if n := m2.Started(); n != 2 {
+		t.Fatalf("%d executions started, want 2 (disk must absorb the eviction)", n)
+	}
+}
+
+func mustSubmit(t *testing.T, m *Manager, cfg ssrank.Config) *Job {
+	t.Helper()
+	j, err := m.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// testDist is a DistRunner backed by real in-process worker loops over
+// loopback TCP — the production RunDistributed path end to end. It
+// declines serial configs, counting the runs it accepts.
+type testDist struct {
+	runs int64
+}
+
+func (d *testDist) Run(cfg ssrank.Config, onBatch func(int64)) (ssrank.Result, bool, error) {
+	if cfg.Shards < 2 {
+		return ssrank.Result{}, false, nil
+	}
+	atomic.AddInt64(&d.runs, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ssrank.Result{}, false, nil
+	}
+	defer ln.Close()
+	var conns []net.Conn
+	var wg sync.WaitGroup
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		wg.Wait()
+	}()
+	for i := 0; i < 2; i++ {
+		wc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return ssrank.Result{}, false, nil
+		}
+		cc, err := ln.Accept()
+		if err != nil {
+			wc.Close()
+			return ssrank.Result{}, false, nil
+		}
+		conns = append(conns, cc)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ssrank.ServeWorker(wc)
+			wc.Close()
+		}()
+	}
+	res, err := ssrank.RunDistributed(cfg, ssrank.DistRun{Workers: conns, OnBatch: onBatch})
+	if err != nil && !errors.Is(err, ssrank.ErrNotConverged) {
+		return ssrank.Result{}, false, nil
+	}
+	return res, true, err
+}
+
+// TestDistJobMatchesInProcess routes a Workers>1 job through a real
+// distributed fleet and requires the identical Result an in-process
+// run produces, progress events on the stream, and one shared cache
+// slot across execution paths (a later Workers=0 submission is a
+// cache hit).
+func TestDistJobMatchesInProcess(t *testing.T) {
+	d := &testDist{}
+	m := NewManager(Config{Workers: 1, SliceInteractions: 1, Dist: d})
+	defer m.Close()
+	cfg := ssrank.Config{N: 64, Seed: 5, Shards: 4, Workers: 2}
+	j := mustSubmit(t, m, cfg)
+	st, res, err := wait(t, j)
+	if st != Done {
+		t.Fatalf("dist job: %s %v", st, err)
+	}
+	if atomic.LoadInt64(&d.runs) != 1 {
+		t.Fatalf("dist runner ran %d times, want 1", d.runs)
+	}
+	want, err := ssrank.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, want) {
+		t.Fatalf("distributed job diverged from Run:\njob %+v\nrun %+v", *res, want)
+	}
+	progress := false
+	for _, typ := range eventTypes(j) {
+		if typ == EventProgress {
+			progress = true
+		}
+	}
+	if !progress {
+		t.Fatal("distributed job emitted no progress events")
+	}
+
+	// Workers is execution-only: the in-process spelling of the same
+	// run shares the cache slot the distributed run filled.
+	serial := cfg
+	serial.Workers = 0
+	j2 := mustSubmit(t, m, serial)
+	if st, _, _, _ := j2.Status(); st != Done {
+		t.Fatalf("cross-path re-submit state %s, want immediate %s", st, Done)
+	}
+	if atomic.LoadInt64(&d.runs) != 1 {
+		t.Fatalf("dist runner ran %d times, want 1 (cache must serve)", d.runs)
+	}
+}
+
+// TestDistFallback pins the decline path: a fleet that refuses every
+// run must be invisible — the job executes in-process and matches Run.
+type declineDist struct{}
+
+func (declineDist) Run(ssrank.Config, func(int64)) (ssrank.Result, bool, error) {
+	return ssrank.Result{}, false, nil
+}
+
+func TestDistFallback(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Dist: declineDist{}})
+	defer m.Close()
+	cfg := ssrank.Config{N: 48, Seed: 6, Shards: 2, Workers: 4}
+	st, res, err := wait(t, mustSubmit(t, m, cfg))
+	if st != Done {
+		t.Fatalf("fallback job: %s %v", st, err)
+	}
+	want, err := ssrank.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, want) {
+		t.Fatalf("fallback job diverged from Run:\njob %+v\nrun %+v", *res, want)
+	}
+}
+
+// TestDistBudgetExhausted checks a distributed budget failure lands
+// exactly like an in-process one: state Failed, the jobs-layer
+// message, the partial Result attached.
+func TestDistBudgetExhausted(t *testing.T) {
+	d := &testDist{}
+	m := NewManager(Config{Workers: 1, Dist: d})
+	defer m.Close()
+	cfg := ssrank.Config{N: 40, Seed: 3, Shards: 4, Workers: 2, MaxInteractions: 2048}
+	st, res, err := wait(t, mustSubmit(t, m, cfg))
+	if st != Failed {
+		t.Fatalf("state %s, want %s", st, Failed)
+	}
+	if want := "jobs: stable did not converge within 2048 interactions"; err == nil || err.Error() != want {
+		t.Fatalf("err %v, want %q", err, want)
+	}
+	if res == nil || res.Interactions != 2048 {
+		t.Fatalf("partial result %+v, want 2048 interactions", res)
 	}
 }

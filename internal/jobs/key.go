@@ -20,11 +20,13 @@ const keyMagic = "sskey1"
 // canonical binary encoding of every Config field the trajectory
 // depends on — descriptor name, init, population size, seed, ε (IEEE
 // bit pattern), interaction budget, resolved shard count, scheduler
-// and fault model. ShardWorkers is deliberately excluded: the worker
-// count trades wall clock for cores without touching the trajectory,
-// so runs differing only there share one cache slot. Two Configs get
-// equal keys exactly when ssrank guarantees them byte-identical
-// Results.
+// and fault model. The execution-only knobs — ShardWorkers and
+// Workers — are deliberately excluded: thread and worker-process
+// counts trade wall clock for hardware without touching the
+// trajectory, so runs differing only there share one cache slot (and
+// a distributed run can serve a later in-process submission, and vice
+// versa). Two Configs get equal keys exactly when ssrank guarantees
+// them byte-identical Results.
 //
 // The encoding reuses the checkpoint codec (ckpt) so canonicality —
 // one logical config, one byte string — is inherited rather than

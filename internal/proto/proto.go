@@ -138,6 +138,33 @@ type Descriptor[S any, P any] struct {
 	// (via the Reader's sticky error or its own) payloads whose shape
 	// does not match p — a checkpoint is external input.
 	UnmarshalState func(p P, r *ckpt.Reader) ([]S, error)
+
+	// EncodeAgent appends one agent state's canonical encoding —
+	// exactly the bytes MarshalState writes for that agent within its
+	// slab section, so the per-agent and whole-slab encodings cannot
+	// drift. Wire layers (internal/dist) ship individual agents with
+	// it: delta frames, migration sub-blobs. Set together with
+	// DecodeAgent; protocols without them cannot run distributed.
+	EncodeAgent func(p P, s *S, w *ckpt.Writer)
+
+	// DecodeAgent decodes one agent state written by EncodeAgent.
+	// Errors stick in the Reader (the repo's unguarded-decode style).
+	DecodeAgent func(p P, r *ckpt.Reader) S
+
+	// Instr captures the protocol's mutable run instrumentation (reset
+	// counters) as a flat vector; SetInstr restores one. The contract
+	// that makes distribution work: vectors accumulated over disjoint
+	// interaction sets sum element-wise, so counters that increment on
+	// whichever process executed the interaction reconcile by
+	// summation — workers report absolute vectors at each barrier and
+	// the coordinator folds the committed totals into the Result. Nil
+	// for protocols whose only mutable state is the agent slab; set
+	// both or neither, and protocols registering Resets must register
+	// these too or distributed Results would drop their counters.
+	Instr func(p P) []int64
+
+	// SetInstr restores an instrumentation vector captured by Instr.
+	SetInstr func(p P, v []int64)
 }
 
 // Probe is one named scalar projection over full configurations (see

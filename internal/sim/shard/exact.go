@@ -12,9 +12,9 @@ import "ssrank/internal/sim"
 // moved a condition-relevant projection) into a private per-unit
 // slice, together with the interaction's canonical batch position and
 // both agents' post-interaction states. At the batch barrier the
-// coordinator folds those records, merged in canonical order, into the
-// descriptor's incremental stop tracker, identifying the exact
-// first interaction of the batch after which the condition held.
+// records are folded, merged in canonical order, into the descriptor's
+// incremental stop tracker, identifying the exact first interaction of
+// the batch after which the condition held.
 //
 // The fold replays against a persistent shadow configuration rather
 // than the live states: a recorded state is written into the shadow
@@ -39,22 +39,28 @@ import "ssrank/internal/sim"
 // detection, within-batch exact replay — and, like every sharded
 // quantity, a pure function of (seed, shard count) at any worker
 // count: records are written by the unit that owns them, offsets are
-// assigned before dispatch, and the fold runs on the coordinator after
-// the barrier.
+// assigned before dispatch, and the fold runs after the barrier.
+//
+// The fold path is shared with the distributed runtime: Folder holds
+// the shadow and replays record slices, and RunExactBatches
+// (exchange.go) drives any BarrierExchange — the in-process Runner or
+// a wire-backed coordinator — through the identical batch/fold loop.
 
-// touchRec is one touched interaction of the current batch: its
-// canonical position, which agents to fold (mask bit 1 = initiator,
-// bit 2 = responder), and both agents' states just after the
-// interaction — the values the shadow replay rewinds to.
-type touchRec[S any] struct {
-	pos    int32
-	mask   uint8
-	a, b   int32
-	sa, sb S
+// TouchRec is one touched interaction of a batch: its canonical batch
+// position, which agents to fold (mask bit 1 = initiator, bit 2 =
+// responder), and both agents' states just after the interaction — the
+// values the shadow replay rewinds to. Records cross process
+// boundaries in the distributed runtime, so the fields are exported;
+// the canonical wire encoding lives in internal/dist.
+type TouchRec[S any] struct {
+	Pos    int32
+	Mask   uint8
+	A, B   int32
+	SA, SB S
 }
 
 // newTouchRec packs one touched interaction.
-func newTouchRec[S any](pos int32, ut, vt bool, a, b int32, sa, sb S) touchRec[S] {
+func newTouchRec[S any](pos int32, ut, vt bool, a, b int32, sa, sb S) TouchRec[S] {
 	var m uint8
 	if ut {
 		m = 1
@@ -62,66 +68,93 @@ func newTouchRec[S any](pos int32, ut, vt bool, a, b int32, sa, sb S) touchRec[S
 	if vt {
 		m |= 2
 	}
-	return touchRec[S]{pos: pos, mask: m, a: a, b: b, sa: sa, sb: sb}
+	return TouchRec[S]{Pos: pos, Mask: m, A: a, B: b, SA: sa, SB: sb}
 }
 
-// enableTracking switches the batch appliers to recording mode and
-// synchronizes the shadow with the live configuration. Scratch is
-// allocated once per Runner and reused by later exact runs.
-func (r *Runner[S, P]) enableTracking() {
-	if r.shadow == nil {
+// Folder replays touched-interaction records against a persistent
+// projection-faithful shadow configuration, feeding an incremental
+// condition tracker. One Folder serves one exact-stopping run: Reset
+// synchronizes the shadow with the run's current configuration, then
+// Fold consumes each batch's record slices in canonical order.
+type Folder[S any] struct {
+	shadow []S
+}
+
+// NewFolder returns a Folder for a population of n agents.
+func NewFolder[S any](n int) *Folder[S] {
+	return &Folder[S]{shadow: make([]S, n)}
+}
+
+// Reset synchronizes the shadow with the given configuration; call it
+// once before the first batch of an exact-stopping run.
+func (f *Folder[S]) Reset(states []S) {
+	copy(f.shadow, states)
+}
+
+// Fold replays one record slice into the condition tracker via the
+// shadow. It returns the batch position of the first interaction after
+// which the condition held, or -1. Callers fold a batch's slices in
+// canonical unit order and stop consuming tracker updates after the
+// first hit (later slices of the batch still carry valid positions,
+// but the hitting time is the first).
+func (f *Folder[S]) Fold(cond sim.Condition[S], recs []TouchRec[S]) int64 {
+	for i := range recs {
+		t := &recs[i]
+		// Rewind both agents to their at-touch states before the
+		// tracker reads them; the untouched partner's write is a
+		// projection no-op that merely keeps the shadow current.
+		f.shadow[t.A] = t.SA
+		f.shadow[t.B] = t.SB
+		if t.Mask&1 != 0 {
+			cond.Update(int(t.A), f.shadow)
+		}
+		if t.Mask&2 != 0 {
+			cond.Update(int(t.B), f.shadow)
+		}
+		if cond.Done() {
+			return int64(t.Pos)
+		}
+	}
+	return -1
+}
+
+// ensureTracking allocates the per-unit recording scratch once per
+// Runner; later exact runs reuse it.
+func (r *Runner[S, P]) ensureTracking() {
+	if r.intraRecs == nil {
 		n, c := len(r.shards), len(r.classes)
 		r.intraOff = make([]int32, n)
 		r.crossOff = make([]int32, c)
-		r.intraRecs = make([][]touchRec[S], n)
-		r.crossRecs = make([][]touchRec[S], c)
-		r.shadow = make([]S, len(r.states))
+		r.intraRecs = make([][]TouchRec[S], n)
+		r.crossRecs = make([][]TouchRec[S], c)
 	}
-	copy(r.shadow, r.states)
-	r.tracking = true
 }
 
-// fold replays the batch's touched interactions, merged in canonical
-// order, into the condition tracker via the shadow configuration. It
-// returns the batch-relative position of the first interaction after
-// which the condition held, or -1 — and always clears every record
-// slice, including units that had no work this batch (their records
-// would otherwise leak into the next fold).
-func (r *Runner[S, P]) fold(cond sim.Condition[S]) int64 {
-	hit := int64(-1)
-	apply := func(recs []touchRec[S]) {
-		if hit >= 0 {
-			return
-		}
-		for _, t := range recs {
-			// Rewind both agents to their at-touch states before the
-			// tracker reads them; the untouched partner's write is a
-			// projection no-op that merely keeps the shadow current.
-			r.shadow[t.a] = t.sa
-			r.shadow[t.b] = t.sb
-			if t.mask&1 != 0 {
-				cond.Update(int(t.a), r.shadow)
-			}
-			if t.mask&2 != 0 {
-				cond.Update(int(t.b), r.shadow)
-			}
-			if cond.Done() {
-				hit = int64(t.pos)
-				return
-			}
-		}
+// ExecBatch implements BarrierExchange in-process: the batch executes
+// on the Runner's own workers, and each unit's record slice is emitted
+// (then recycled) in canonical unit order — intra shards in shard
+// order, then cross units in tournament-round order.
+func (r *Runner[S, P]) ExecBatch(b int, track bool, emit func(recs []TouchRec[S])) error {
+	if track {
+		r.ensureTracking()
+		r.tracking = true
+	}
+	r.runBatch(b)
+	r.tracking = false
+	if !track {
+		return nil
 	}
 	for s := range r.intraRecs {
-		apply(r.intraRecs[s])
+		emit(r.intraRecs[s])
 		r.intraRecs[s] = r.intraRecs[s][:0]
 	}
 	for _, round := range r.rounds {
 		for _, c := range round {
-			apply(r.crossRecs[c])
+			emit(r.crossRecs[c])
 			r.crossRecs[c] = r.crossRecs[c][:0]
 		}
 	}
-	return hit
+	return nil
 }
 
 // RunUntilExact executes interactions until the incrementally
@@ -149,20 +182,18 @@ func (r *Runner[S, P]) RunUntilExact(cond sim.Condition[S], maxSteps int64) (int
 	if cond.Done() {
 		return r.steps, nil
 	}
-	r.enableTracking()
-	defer func() { r.tracking = false }()
+	if r.folder == nil {
+		r.folder = NewFolder[S](len(r.states))
+	}
+	r.folder.Reset(r.states)
 	stop := r.startWorkers()
 	defer stop()
-	for r.steps < maxSteps {
-		b := int64(r.batch)
-		if remaining := maxSteps - r.steps; b > remaining {
-			b = remaining
-		}
-		before := r.steps
-		r.runBatch(int(b))
-		if hit := r.fold(cond); hit >= 0 {
-			return before + hit + 1, nil
-		}
+	_, hit, err := RunExactBatches[S](r, r.folder, cond, r.steps, maxSteps, r.batch)
+	if err != nil {
+		return r.steps, err
 	}
-	return r.steps, sim.ErrBudgetExhausted
+	if hit < 0 {
+		return r.steps, sim.ErrBudgetExhausted
+	}
+	return hit, nil
 }

@@ -1,0 +1,52 @@
+package shard
+
+import "ssrank/internal/sim"
+
+// BarrierExchange is the engine-side contract of the exact-stopping
+// driver: execute one batch of b interactions and, when track is set,
+// emit every unit's touched-interaction records at the batch barrier
+// in canonical unit order — intra shards in shard order, then cross
+// units in tournament-round order (zero-work units emit their empty
+// slice). The in-process Runner implements it by executing the batch
+// on its own workers; the distributed coordinator (internal/dist)
+// implements it by broadcasting the batch's class counts to worker
+// processes and gathering their record frames at the wire barrier.
+// Emitted slices are only valid during the emit call.
+type BarrierExchange[S any] interface {
+	ExecBatch(b int, track bool, emit func(recs []TouchRec[S])) error
+}
+
+// RunExactBatches drives a BarrierExchange until the condition's fold
+// reports a hit or the interaction budget is exhausted — the one
+// exact-stopping loop shared by the in-process sharded engine and the
+// distributed runtime, so "Result.Exact survives distribution" is a
+// property of this function, not of two parallel implementations. It
+// executes full batches of the given period (the final batch truncated
+// to the budget), folds each batch's emitted records through f, and
+// returns the final step count together with the exact hitting time
+// (-1 when the budget ran out first). steps is the caller's current
+// interaction count; the condition must already be initialized against
+// the current configuration and not yet satisfied, and f must have
+// been Reset against it.
+func RunExactBatches[S any](x BarrierExchange[S], f *Folder[S], cond sim.Condition[S], steps, maxSteps int64, batch int) (finalSteps, hitStep int64, err error) {
+	for steps < maxSteps {
+		b := int64(batch)
+		if remaining := maxSteps - steps; b > remaining {
+			b = remaining
+		}
+		hit := int64(-1)
+		err := x.ExecBatch(int(b), true, func(recs []TouchRec[S]) {
+			if hit < 0 {
+				hit = f.Fold(cond, recs)
+			}
+		})
+		if err != nil {
+			return steps, -1, err
+		}
+		steps += b
+		if hit >= 0 {
+			return steps, steps - b + hit + 1, nil
+		}
+	}
+	return steps, -1, nil
+}

@@ -176,15 +176,25 @@ type Runner[S any, P sim.TouchReporter[S]] struct {
 	// Exact-stop tracking scratch (exact.go), allocated on the first
 	// RunUntilExact. While tracking is set, applyIntra/applyCross record
 	// every touched interaction with its canonical batch position so the
-	// coordinator can fold the batch into the stop tracker at the
-	// barrier. Each unit (shard or cross class) writes only its own
-	// record slice, so recording is race-free without synchronization.
+	// barrier fold can replay the batch into the stop tracker. Each unit
+	// (shard or cross class) writes only its own record slice, so
+	// recording is race-free without synchronization.
 	tracking  bool
 	intraOff  []int32 // canonical batch offset of shard s's intra pairs
 	crossOff  []int32 // canonical batch offset of class c's pairs
-	intraRecs [][]touchRec[S]
-	crossRecs [][]touchRec[S]
-	shadow    []S // projection-faithful replay configuration
+	intraRecs [][]TouchRec[S]
+	crossRecs [][]TouchRec[S]
+	folder    *Folder[S] // shadow replay state for in-process exact runs
+
+	// Modified-agent collection (units.go), armed by BeginBatch for
+	// distributed workers: while collect is set, the tracked appliers
+	// additionally append every endpoint index a unit draws to the
+	// unit's private dirty slice — the worker's per-phase delta frames.
+	// Touch records alone cannot serve: a transition may mutate state
+	// without moving any condition-relevant projection.
+	collect    bool
+	dirtyIntra [][]int32
+	dirtyCross [][]int32
 }
 
 // shardMeta is one shard: its index range [lo, hi) in the population
@@ -224,6 +234,28 @@ type crossScratch struct {
 type task struct {
 	cross bool
 	idx   int
+}
+
+// assignOffsets gives every unit its canonical offset within the
+// current batch before any work is dispatched: intra shards first in
+// shard order, then cross classes in round order — exactly the
+// canonical application order of DESIGN.md §3. A recorded touch at
+// index i of a unit then carries the globally increasing position
+// offset+i, letting the barrier fold replay the batch's touches as one
+// totally ordered interaction sequence.
+func (r *Runner[S, P]) assignOffsets() {
+	nshards, nclasses := len(r.shards), len(r.classes)
+	off := int32(0)
+	for s := 0; s < nshards; s++ {
+		r.intraOff[s] = off
+		off += r.counts[s]
+	}
+	for _, round := range r.rounds {
+		for _, c := range round {
+			r.crossOff[c] = off
+			off += r.counts[nshards+c] + r.counts[nshards+nclasses+c]
+		}
+	}
 }
 
 // classIndex maps the unordered shard pair (s, t), s < t, to its
@@ -403,31 +435,10 @@ func (r *Runner[S, P]) worker(tasks <-chan task) {
 // draws; workers start the instant the counts land.
 func (r *Runner[S, P]) runBatch(b int) {
 	nshards := len(r.shards)
-	for i := range r.counts {
-		r.counts[i] = 0
-	}
-	r.alias.CountsInto(r.master, b, r.counts)
-
-	// In tracking mode, assign every unit its canonical offset within
-	// the batch before any work is dispatched: intra shards first in
-	// shard order, then cross classes in round order — exactly the
-	// canonical application order of DESIGN.md §3. A recorded touch at
-	// index i of a unit then carries the globally increasing position
-	// offset+i, letting the barrier fold replay the batch's touches as
-	// one totally ordered interaction sequence.
 	nclasses := len(r.classes)
+	r.ClassifyBatch(b)
 	if r.tracking {
-		off := int32(0)
-		for s := 0; s < nshards; s++ {
-			r.intraOff[s] = off
-			off += r.counts[s]
-		}
-		for _, round := range r.rounds {
-			for _, c := range round {
-				r.crossOff[c] = off
-				off += r.counts[nshards+c] + r.counts[nshards+nclasses+c]
-			}
-		}
+		r.assignOffsets()
 	}
 
 	// Intra phase: one task per shard with work.
@@ -496,6 +507,10 @@ func (r *Runner[S, P]) applyIntra(s int) {
 		return
 	}
 	recs := r.intraRecs[s][:0]
+	var dirty []int32
+	if r.collect {
+		dirty = r.dirtyIntra[s][:0]
+	}
 	lo, pos := int32(sh.lo), r.intraOff[s]
 	for cnt := int(r.counts[s]); cnt > 0; {
 		as, bs := sh.pb.Window()
@@ -511,10 +526,18 @@ func (r *Runner[S, P]) applyIntra(s int) {
 			}
 			pos++
 		}
+		if r.collect {
+			for i := 0; i < m; i++ {
+				dirty = append(dirty, lo+as[i], lo+bs[i])
+			}
+		}
 		sh.pb.Advance(m)
 		cnt -= m
 	}
 	r.intraRecs[s] = recs
+	if r.collect {
+		r.dirtyIntra[s] = dirty
+	}
 }
 
 // applyCross applies unit c's cross pairs for this batch — forward
@@ -537,10 +560,17 @@ func (r *Runner[S, P]) applyCross(c int, scratch *crossScratch) {
 		return
 	}
 	recs := r.crossRecs[c][:0]
+	var dirty []int32
+	if r.collect {
+		dirty = r.dirtyCross[c][:0]
+	}
 	pos := r.crossOff[c]
-	recs, pos = r.crossDirT(cl, fwd, false, scratch, recs, pos)
-	recs, _ = r.crossDirT(cl, rev, true, scratch, recs, pos)
+	recs, dirty, pos = r.crossDirT(cl, fwd, false, scratch, recs, dirty, pos)
+	recs, dirty, _ = r.crossDirT(cl, rev, true, scratch, recs, dirty, pos)
 	r.crossRecs[c] = recs
+	if r.collect {
+		r.dirtyCross[c] = dirty
+	}
 }
 
 // crossDir applies cnt pairs of one directional class of unit cl:
@@ -570,7 +600,7 @@ func (r *Runner[S, P]) crossDir(cl *classMeta, cnt int, reverse bool, scratch *c
 // crossDirT is crossDir in tracking mode: same draws, same application
 // order, every touched interaction recorded with its canonical batch
 // position.
-func (r *Runner[S, P]) crossDirT(cl *classMeta, cnt int, reverse bool, scratch *crossScratch, recs []touchRec[S], pos int32) ([]touchRec[S], int32) {
+func (r *Runner[S, P]) crossDirT(cl *classMeta, cnt int, reverse bool, scratch *crossScratch, recs []TouchRec[S], dirty []int32, pos int32) ([]TouchRec[S], []int32, int32) {
 	for cnt > 0 {
 		m := cnt
 		if m > crossChunk {
@@ -590,9 +620,14 @@ func (r *Runner[S, P]) crossDirT(cl *classMeta, cnt int, reverse bool, scratch *
 			}
 			pos++
 		}
+		if r.collect {
+			for i := 0; i < m; i++ {
+				dirty = append(dirty, cl.los+as[i], cl.lot+bs[i])
+			}
+		}
 		cnt -= m
 	}
-	return recs, pos
+	return recs, dirty, pos
 }
 
 // shardOf inverts the floor partition: agent i of n belongs to shard

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"fmt"
+
+	"ssrank/internal/rng"
+)
+
+// This file is the unit-level execution API of the Runner, consumed by
+// the distributed runtime (internal/dist). A distributed batch splits
+// the Runner's roles across processes: the coordinator classifies the
+// batch (ClassifyBatch) and folds the barrier, while each worker —
+// holding a full Runner as a population mirror — executes only the
+// units it owns (BeginBatch, ExecIntra/ExecCross, FinishBatch) and
+// reports its touch records, modified agents, and stream positions.
+// In-process callers never need these; Run/RunUntilExact drive whole
+// batches.
+
+// ClassifyBatch draws one batch's class-count multinomial from the
+// master stream — the coordinator side of a distributed batch, exactly
+// the draw an in-process batch performs. The returned slice is the
+// Runner's internal counts buffer, valid until the next
+// classification; its layout is the counts field layout
+// ([S intra][C forward][C reverse]).
+func (r *Runner[S, P]) ClassifyBatch(b int) []int32 {
+	for i := range r.counts {
+		r.counts[i] = 0
+	}
+	r.alias.CountsInto(r.master, b, r.counts)
+	return r.counts
+}
+
+// BeginBatch installs externally published class counts (the layout
+// ClassifyBatch returns) and arms per-unit recording: touch records
+// when track is set, modified-agent collection when collect is set.
+// Canonical batch offsets are assigned exactly as an in-process batch
+// would assign them, and every unit's record and dirty slice is
+// cleared so stale units cannot leak into this batch's barrier. The
+// caller then executes its units via ExecIntra/ExecCross and retires
+// the batch with FinishBatch.
+func (r *Runner[S, P]) BeginBatch(counts []int32, track, collect bool) error {
+	if len(counts) != len(r.counts) {
+		return fmt.Errorf("shard: batch counts have %d classes, runner has %d", len(counts), len(r.counts))
+	}
+	copy(r.counts, counts)
+	if track {
+		r.ensureTracking()
+		for i := range r.intraRecs {
+			r.intraRecs[i] = r.intraRecs[i][:0]
+		}
+		for i := range r.crossRecs {
+			r.crossRecs[i] = r.crossRecs[i][:0]
+		}
+	}
+	if collect {
+		if r.dirtyIntra == nil {
+			r.dirtyIntra = make([][]int32, len(r.shards))
+			r.dirtyCross = make([][]int32, len(r.classes))
+		}
+		for i := range r.dirtyIntra {
+			r.dirtyIntra[i] = r.dirtyIntra[i][:0]
+		}
+		for i := range r.dirtyCross {
+			r.dirtyCross[i] = r.dirtyCross[i][:0]
+		}
+	}
+	r.tracking = track
+	r.collect = collect
+	if track {
+		r.assignOffsets()
+	}
+	return nil
+}
+
+// ExecIntra executes shard s's intra pairs for the current externally
+// driven batch (a no-op at count zero). Units run on the caller's
+// goroutine: a distributed worker's parallelism is process-level, so
+// its in-process execution is serial.
+func (r *Runner[S, P]) ExecIntra(s int) {
+	if r.counts[s] > 0 {
+		r.applyIntra(s)
+	}
+}
+
+// ExecCross executes cross unit c's pairs (both directions, forward
+// before reverse) for the current externally driven batch.
+func (r *Runner[S, P]) ExecCross(c int) {
+	if r.counts[len(r.shards)+c]+r.counts[len(r.shards)+len(r.classes)+c] > 0 {
+		r.applyCross(c, &r.scratch)
+	}
+}
+
+// FinishBatch retires one externally driven batch: commits its step
+// count and disarms recording.
+func (r *Runner[S, P]) FinishBatch(b int) {
+	r.steps += int64(b)
+	r.tracking = false
+	r.collect = false
+}
+
+// IntraRecs returns shard s's touch records for the current batch,
+// valid until the next BeginBatch (canonical positions already
+// assigned).
+func (r *Runner[S, P]) IntraRecs(s int) []TouchRec[S] { return r.intraRecs[s] }
+
+// CrossRecs returns cross unit c's touch records for the current
+// batch, valid until the next BeginBatch.
+func (r *Runner[S, P]) CrossRecs(c int) []TouchRec[S] { return r.crossRecs[c] }
+
+// DirtyIntra returns the population indices shard s's intra pairs
+// touched this batch, in application order, possibly with duplicates.
+// Valid until the next BeginBatch; requires collect mode.
+func (r *Runner[S, P]) DirtyIntra(s int) []int32 { return r.dirtyIntra[s] }
+
+// DirtyCross returns the population indices cross unit c's pairs
+// touched this batch (see DirtyIntra).
+func (r *Runner[S, P]) DirtyCross(c int) []int32 { return r.dirtyCross[c] }
+
+// NumCrossUnits returns the number of cross units C = S(S−1)/2.
+func (r *Runner[S, P]) NumCrossUnits() int { return len(r.classes) }
+
+// CrossUnitShards returns the unordered shard pair {s, t}, s < t, of
+// cross unit c.
+func (r *Runner[S, P]) CrossUnitShards(c int) (s, t int) {
+	cl := &r.classes[c]
+	return cl.s, cl.t
+}
+
+// ShardRange returns shard s's population index range [lo, hi).
+func (r *Runner[S, P]) ShardRange(s int) (lo, hi int) {
+	sh := &r.shards[s]
+	return sh.lo, sh.hi
+}
+
+// RoundSchedule returns the tournament schedule: rounds of compact
+// cross-unit ids, every unit in exactly one round, no shard twice
+// within a round. A pure function of the shard count — identical on
+// every process of a distributed run. Treat as read-only.
+func (r *Runner[S, P]) RoundSchedule() [][]int { return r.rounds }
+
+// ShardStream returns shard s's private pair-stream position —
+// a distributed worker reports its owned streams at every barrier so
+// the coordinator's committed engine state stays current.
+func (r *Runner[S, P]) ShardStream(s int) rng.PairBatchState { return r.shards[s].pb.State() }
+
+// ClassStream returns cross unit c's private endpoint-stream position.
+func (r *Runner[S, P]) ClassStream(c int) [4]uint64 { return r.classes[c].g.State() }

@@ -43,6 +43,10 @@ func Describe() proto.Descriptor[State, *Protocol] {
 		},
 		MarshalState:   MarshalState,
 		UnmarshalState: UnmarshalState,
+		EncodeAgent:    EncodeAgent,
+		DecodeAgent:    DecodeAgent,
+		Instr:          Instr,
+		SetInstr:       SetInstr,
 		Budget:         proto.BudgetN2LogN(3000),
 	}
 }

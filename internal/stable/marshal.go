@@ -6,27 +6,81 @@ import (
 	"ssrank/internal/ckpt"
 )
 
+// EncodeAgent appends one agent's state field-by-field — the per-agent
+// unit of MarshalState's slab section, shared with the distributed
+// wire layer so the two encodings cannot drift
+// (proto.Descriptor.EncodeAgent).
+func EncodeAgent(p *Protocol, s *State, w *ckpt.Writer) {
+	w.Uvarint(uint64(s.Mode))
+	w.Uvarint(uint64(s.Coin))
+	w.Varint(int64(s.Rank))
+	w.Varint(int64(s.ResetCount))
+	w.Varint(int64(s.DelayCount))
+	w.Varint(int64(s.LECount))
+	w.Varint(int64(s.CoinCount))
+	w.Bool(s.LeaderDone)
+	w.Bool(s.IsLeader)
+	w.Varint(int64(s.Wait))
+	w.Varint(int64(s.Phase))
+	w.Varint(int64(s.Alive))
+}
+
+// DecodeAgent decodes one agent written by EncodeAgent; errors stick
+// in r.
+func DecodeAgent(p *Protocol, r *ckpt.Reader) State {
+	var s State
+	s.Mode = Mode(r.Uvarint())
+	s.Coin = uint8(r.Uvarint())
+	s.Rank = int32(r.Int())
+	s.ResetCount = int32(r.Int())
+	s.DelayCount = int32(r.Int())
+	s.LECount = int32(r.Int())
+	s.CoinCount = int32(r.Int())
+	s.LeaderDone = r.Bool()
+	s.IsLeader = r.Bool()
+	s.Wait = int32(r.Int())
+	s.Phase = int32(r.Int())
+	s.Alive = int32(r.Int())
+	return s
+}
+
+// Instr captures the reset instrumentation as a flat vector: total,
+// then per reason in ResetReason order. Vectors accumulated over
+// disjoint interaction sets sum element-wise, which is what lets the
+// distributed runtime reconcile counters that incremented on whichever
+// worker executed the interaction (proto.Descriptor.Instr).
+func Instr(p *Protocol) []int64 {
+	v := make([]int64, 1+int(numResetReasons))
+	v[0] = p.resets.Load()
+	for reason := ResetReason(0); reason < numResetReasons; reason++ {
+		v[1+int(reason)] = p.resetsByReason[reason].Load()
+	}
+	return v
+}
+
+// SetInstr restores a vector captured by Instr; short vectors leave
+// the remaining counters untouched.
+func SetInstr(p *Protocol, v []int64) {
+	if len(v) > 0 {
+		p.resets.Store(v[0])
+	}
+	for reason := ResetReason(0); reason < numResetReasons; reason++ {
+		if 1+int(reason) < len(v) {
+			p.resetsByReason[reason].Store(v[1+int(reason)])
+		}
+	}
+}
+
 // MarshalState appends the protocol's full mutable run state to w: the
-// agent slab field-by-field in agent order, then the reset counters
-// (total, then per reason in ResetReason order). The encoding is
-// canonical and versioned by the enclosing checkpoint format — field
-// order here is the schema (proto.Descriptor.MarshalState).
+// agent slab field-by-field in agent order (EncodeAgent per agent),
+// then the reset counters (total, then per reason in ResetReason
+// order). The encoding is canonical and versioned by the enclosing
+// checkpoint format — field order here is the schema
+// (proto.Descriptor.MarshalState).
 func MarshalState(p *Protocol, states []State, w *ckpt.Writer) {
 	w.Uvarint(uint64(len(states)))
 	for i := range states {
-		s := &states[i]
-		w.Uvarint(uint64(s.Mode))
-		w.Uvarint(uint64(s.Coin))
-		w.Varint(int64(s.Rank))
-		w.Varint(int64(s.ResetCount))
-		w.Varint(int64(s.DelayCount))
-		w.Varint(int64(s.LECount))
-		w.Varint(int64(s.CoinCount))
-		w.Bool(s.LeaderDone)
-		w.Bool(s.IsLeader)
-		w.Varint(int64(s.Wait))
-		w.Varint(int64(s.Phase))
-		w.Varint(int64(s.Alive))
+		EncodeAgent(p, &states[i], w)
 	}
 	w.Varint(p.resets.Load())
 	for reason := ResetReason(0); reason < numResetReasons; reason++ {
@@ -43,19 +97,7 @@ func UnmarshalState(p *Protocol, r *ckpt.Reader) ([]State, error) {
 	}
 	states := make([]State, n)
 	for i := range states {
-		s := &states[i]
-		s.Mode = Mode(r.Uvarint())
-		s.Coin = uint8(r.Uvarint())
-		s.Rank = int32(r.Int())
-		s.ResetCount = int32(r.Int())
-		s.DelayCount = int32(r.Int())
-		s.LECount = int32(r.Int())
-		s.CoinCount = int32(r.Int())
-		s.LeaderDone = r.Bool()
-		s.IsLeader = r.Bool()
-		s.Wait = int32(r.Int())
-		s.Phase = int32(r.Int())
-		s.Alive = int32(r.Int())
+		states[i] = DecodeAgent(p, r)
 	}
 	p.resets.Store(r.Varint())
 	for reason := ResetReason(0); reason < numResetReasons; reason++ {

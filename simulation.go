@@ -402,7 +402,7 @@ func (s *simDriver[S, P]) marshal(w *ckpt.Writer) error {
 	w.Uvarint(ckptKindSerial)
 	w.Varint(s.hit)
 	w.Varint(st.Steps)
-	writePairState(w, st.Pairs)
+	ckpt.WritePairState(w, st.Pairs)
 	s.d.MarshalState(s.p, s.r.States(), w)
 	return nil
 }
@@ -525,14 +525,14 @@ func (s *shardSimDriver[S, P]) marshal(w *ckpt.Writer) error {
 	w.Uvarint(ckptKindShard)
 	w.Varint(s.hit)
 	w.Varint(st.Steps)
-	writeRNGState(w, st.Master)
+	ckpt.WriteRNGState(w, st.Master)
 	w.Uvarint(uint64(len(st.Shards)))
 	for i := range st.Shards {
-		writePairState(w, st.Shards[i])
+		ckpt.WritePairState(w, st.Shards[i])
 	}
 	w.Uvarint(uint64(len(st.Classes)))
 	for i := range st.Classes {
-		writeRNGState(w, st.Classes[i])
+		ckpt.WriteRNGState(w, st.Classes[i])
 	}
 	s.d.MarshalState(s.p, s.r.States(), w)
 	return nil

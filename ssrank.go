@@ -145,6 +145,16 @@ type Config struct {
 	// routes through it: < 1 means one worker per CPU. It trades wall
 	// clock for cores only; the Result is identical at every setting.
 	ShardWorkers int
+	// Workers, when > 1, asks a job service (ssrankd with a registered
+	// worker pool) to execute the run across that many worker
+	// processes via the distributed shard runtime — see RunDistributed
+	// for direct use. Like ShardWorkers it is execution-only: the
+	// trajectory is a pure function of the rest of the canonical
+	// Config, so Workers is cleared from Result.Config, excluded from
+	// job cache keys, and ignored entirely by the in-process entry
+	// points (Run, NewSimulation, Replicate). Services without workers
+	// fall back to in-process execution with an identical Result.
+	Workers int
 	// Scheduler selects the communication model. The zero value is
 	// the paper's uniform scheduler on the fast in-place engines; any
 	// named scheduler (an explicit SchedulerUniform included) routes
@@ -205,20 +215,22 @@ type Result struct {
 	ResetBreakdown map[string]int64
 	// Config is the canonical configuration the run executed: the
 	// submitted Config with defaults filled and the shard count
-	// resolved (Config.Normalized), with ShardWorkers cleared — the
-	// worker count never affects the trajectory, so it is not part of
-	// the reproduction recipe and Result stays byte-identical across
-	// worker counts. Re-running this Config reproduces the Result
+	// resolved (Config.Normalized), with the execution-only knobs
+	// (ShardWorkers, Workers) cleared — worker counts, in-process or
+	// distributed, never affect the trajectory, so they are not part
+	// of the reproduction recipe and Result stays byte-identical
+	// across them. Re-running this Config reproduces the Result
 	// exactly: every row of a replication, every cached job result,
 	// carries its own reproduction recipe.
 	Config Config
 }
 
 // resultConfig is the form of a normalized Config stamped onto Result:
-// the execution-only ShardWorkers knob cleared, everything else the
-// canonical form the engines executed.
+// the execution-only knobs (ShardWorkers, Workers) cleared, everything
+// else the canonical form the engines executed.
 func resultConfig(cfg Config) Config {
 	cfg.ShardWorkers = 0
+	cfg.Workers = 0
 	return cfg
 }
 
